@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark harness.
+
+Each experiment bench runs its table/figure regeneration exactly once under
+pytest-benchmark timing (rounds=1): the experiments are Monte-Carlo sweeps,
+so statistical repetition happens *inside* them, not by re-running the
+sweep.  Micro-benchmarks (benchmarks/test_micro.py) use normal repetition.
+
+Regenerated tables are printed so ``pytest benchmarks/ --benchmark-only -s``
+doubles as the paper-reproduction report; EXPERIMENTS.md records a checked-in
+copy.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

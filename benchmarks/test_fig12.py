@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 12 (sensitivity to stars, RSL size, fusion rate).
+
+Shape claims: #RSL decreases (a) from 4- to 7-qubit resource states, (b) as
+the RSL grows, (c) as the fusion success rate rises.
+"""
+
+from repro.experiments import fig12
+
+
+def _panel(points, panel, benchmark):
+    series = [(p.x, p.rsl_count) for p in points if p.panel == panel and p.benchmark == benchmark]
+    return [count for _x, count in sorted(series)]
+
+
+def test_fig12_regeneration(once):
+    points, text = once(fig12.run, "bench")
+    print("\n" + text)
+
+    benchmarks = {p.benchmark for p in points}
+    for benchmark in benchmarks:
+        a = _panel(points, "a", benchmark)
+        assert a[-1] < a[0], f"(a) {benchmark}: 7-qubit stars should beat 4-qubit"
+        b = _panel(points, "b", benchmark)
+        assert b[-1] <= b[0], f"(b) {benchmark}: larger RSLs should not cost more"
+        c = _panel(points, "c", benchmark)
+        assert c[-1] <= c[0], f"(c) {benchmark}: higher rates should not cost more"

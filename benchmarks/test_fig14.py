@@ -1,0 +1,34 @@
+"""Bench: regenerate Fig. 14 (online time per RSL).
+
+Shape claims: per-RSL online time is flat in program size, grows with RSL
+size, and modularity cuts the (concurrent) wall work substantially.
+"""
+
+from repro.experiments import fig14
+
+
+def test_fig14_regeneration(once):
+    result, text = once(fig14.run, "bench")
+    print("\n" + text)
+
+    # (a) flat in program size: max/min within a small factor.
+    seconds = [s for _label, s in result.per_program]
+    assert max(seconds) <= 4 * min(seconds)
+
+    # (b) grows with RSL size (non-modular series) ...
+    non_modular = sorted(
+        (rsl, wall)
+        for rsl, modules, _s, wall in result.per_rsl_size
+        if modules == 1
+    )
+    assert non_modular[-1][1] > non_modular[0][1]
+
+    # ... and modularity reduces wall work at the largest size.
+    largest = max(rsl for rsl, _m, _s, _w in result.per_rsl_size)
+    walls = {
+        modules: wall
+        for rsl, modules, _s, wall in result.per_rsl_size
+        if rsl == largest
+    }
+    assert walls[16] < walls[1]
+    assert walls[4] < walls[1]

@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 15 (offline compilation time).
+
+Shape claims: offline time grows with program size; against virtual hardware
+length the *layer count* falls monotonically while wall time stays within a
+band (the U-shape's two competing forces).
+"""
+
+from repro.experiments import fig15
+
+
+def test_fig15_regeneration(once):
+    result, text = once(fig15.run, "bench")
+    print("\n" + text)
+
+    by_family: dict[str, list[tuple[int, float]]] = {}
+    for family, qubits, seconds in result.by_program_size:
+        by_family.setdefault(family, []).append((qubits, seconds))
+    for family, series in by_family.items():
+        series.sort()
+        assert series[-1][1] > series[0][1], f"{family}: time should grow with size"
+
+    layers_by_width: dict[str, list[tuple[int, int]]] = {}
+    for family, width, _seconds, layers in result.by_virtual_size:
+        layers_by_width.setdefault(family, []).append((width, layers))
+    for family, series in layers_by_width.items():
+        series.sort()
+        assert series[-1][1] < series[0][1], f"{family}: layers should fall with width"

@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig. 16 (renormalization success vs node size).
+
+Shape claims: for each fusion rate the success curve is (noisily) increasing
+in the node side and saturates near 1; higher rates saturate earlier.
+"""
+
+from repro.experiments import fig16
+
+
+def test_fig16_regeneration(once):
+    points, text = once(fig16.run, "bench")
+    print("\n" + text)
+
+    by_rate: dict[float, list[tuple[int, float]]] = {}
+    for point in points:
+        by_rate.setdefault(point.fusion_rate, []).append(
+            (point.node_side, point.success_rate)
+        )
+    for rate, series in by_rate.items():
+        series.sort()
+        assert series[-1][1] >= 0.9, f"p={rate}: largest node should saturate"
+        assert series[0][1] <= series[-1][1]
+
+    # Higher fusion rates reach 50% success at smaller node sides.
+    def crossing(rate: float) -> int:
+        for node, success in sorted(by_rate[rate]):
+            if success >= 0.5:
+                return node
+        return 10**9
+
+    assert crossing(0.78) <= crossing(0.66)

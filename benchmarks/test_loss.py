@@ -1,0 +1,28 @@
+"""Bench: the photon-loss extension experiment.
+
+Shape claims: loss scales the effective fusion rate by (1-l)^2 and #RSL is
+(weakly) non-decreasing in the loss rate.
+"""
+
+from repro.analysis import monotone_fraction
+from repro.experiments import loss
+
+
+def test_loss_regeneration(once):
+    points, text = once(loss.run, "bench")
+    print("\n" + text)
+
+    by_benchmark: dict[str, list[tuple[float, int]]] = {}
+    for point in points:
+        assert point.effective_rate == loss.effective_rate(point.loss_rate)
+        by_benchmark.setdefault(point.benchmark, []).append(
+            (point.loss_rate, point.rsl_count)
+        )
+    for benchmark, series in by_benchmark.items():
+        series.sort()
+        counts = [count for _rate, count in series]
+        # Noisy Monte-Carlo: demand a clear overall tilt, not strictness.
+        assert (
+            monotone_fraction(counts, decreasing=False) >= 0.5
+        ), f"{benchmark}: #RSL should not improve with loss"
+        assert counts[-1] >= counts[0] * 0.8

@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the performance-critical primitives.
+
+These use pytest-benchmark's normal statistical repetition (they are pure
+and fast) and track the constants behind Fig. 14/15: bond sampling, the
+renormalization path search, the tableau, and the mapper inner loop.
+"""
+
+import numpy as np
+
+from repro.circuits import qaoa
+from repro.graphstate import GraphState, Tableau
+from repro.mbqc import translate_circuit
+from repro.offline import OfflineMapper
+from repro.online.percolation import sample_lattice
+from repro.online.renormalize import renormalize
+from repro.utils.dsu import DisjointSet
+
+
+def test_bond_sampling_48(benchmark):
+    rng = np.random.default_rng(0)
+    benchmark(lambda: sample_lattice(48, 0.75, rng))
+
+
+def test_renormalize_48(benchmark):
+    rng = np.random.default_rng(0)
+
+    def run():
+        return renormalize(sample_lattice(48, 0.75, rng), 3)
+
+    benchmark(run)
+
+
+def test_renormalize_96(benchmark):
+    rng = np.random.default_rng(0)
+
+    def run():
+        return renormalize(sample_lattice(96, 0.75, rng), 6)
+
+    benchmark(run)
+
+
+def test_tableau_fusion_chain(benchmark):
+    def run():
+        graph = GraphState()
+        for star in range(6):
+            for leaf in range(1, 4):
+                graph.add_edge(f"r{star}", (f"r{star}", leaf))
+        tableau, index = Tableau.from_graph(graph)
+        for star in range(5):
+            tableau.fuse(index[(f"r{star}", 1)], index[(f"r{star+1}", 2)])
+        return tableau
+
+    benchmark(run)
+
+
+def test_mapper_qaoa9(benchmark):
+    pattern = translate_circuit(qaoa(9, seed=0))
+    benchmark(lambda: OfflineMapper(width=3).map_pattern(pattern))
+
+
+def test_dsu_union_heavy(benchmark):
+    def run():
+        dsu = DisjointSet()
+        for i in range(5000):
+            dsu.union(i % 701, (i * 31) % 701)
+        return dsu.component_count
+
+    benchmark(run)

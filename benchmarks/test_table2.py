@@ -1,0 +1,27 @@
+"""Bench: regenerate Table 2 (OnePerc vs OneQ, #RSL and #fusion).
+
+Shape claims checked here (the paper's headline results):
+
+* OneQ hits the RSL cap for every benchmark at the practical rate 0.75;
+* OnePerc compiles everything, with #RSL orders of magnitude below the cap;
+* at 4 qubits / p = 0.9, OnePerc pays *more* fusions than OneQ (percolation
+  overhead), while its #RSL is still smaller.
+"""
+
+from repro.experiments import table2
+
+
+def test_table2_regeneration(once):
+    rows, text = once(table2.run, "bench")
+    print("\n" + text)
+
+    practical = [row for row in rows if row.fusion_rate == 0.75]
+    assert practical, "bench scale must include the practical rate"
+    assert all(row.oneq_capped for row in practical)
+    assert all(row.oneperc_rsl < row.oneq_rsl for row in practical)
+
+    hyper_small = [
+        row for row in rows if row.fusion_rate == 0.90 and "4" in row.benchmark
+    ]
+    assert all(row.rsl_improvement > 1.0 for row in hyper_small)
+    assert all(row.fusion_improvement < 1.0 for row in hyper_small)

@@ -1,0 +1,23 @@
+"""Bench: regenerate Table 3 (refresh mechanism under a memory budget).
+
+Shape claims: the largest programs exceed the budget without refresh ('-'),
+refresh compiles everything, and the cost is extra #RSL.
+"""
+
+from repro.experiments import table3
+
+
+def test_table3_regeneration(once):
+    rows, text = once(table3.run, "bench")
+    print("\n" + text)
+
+    largest = max(row.num_qubits for row in rows)
+    for row in rows:
+        if row.num_qubits == largest:
+            assert row.non_refreshed_rsl is None, (
+                f"{row.benchmark}-{row.num_qubits} unexpectedly fit the budget"
+            )
+        assert row.refreshed_rsl > 0
+        if row.non_refreshed_rsl is not None:
+            assert row.refreshed_rsl >= row.non_refreshed_rsl
+            assert row.refreshed_peak_bytes <= row.non_refreshed_peak_bytes

@@ -1,0 +1,66 @@
+"""Sizing hardware automatically: the Fig. 16 policy as a tool.
+
+Given a fusion module's measured success rate, pick the smallest average
+node size whose renormalization saturates (Fig. 16's "smallest node size
+that brings the success probability close to 1"), size the RSL for a target
+virtual hardware, and sanity-check the raw 3D resource with the cubic
+percolation model.
+
+Run:  python examples/autotune_hardware.py
+"""
+
+from repro.analysis import crossing_point
+from repro.online import (
+    CUBIC_BOND_THRESHOLD,
+    choose_node_side,
+    rsl_size_for_virtual,
+    sample_lattice3d,
+    success_curve,
+)
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    print("=== Raw 3D resource check (Fig. 7(b)'s comfort margin) ===")
+    for rate in (0.66, 0.75):
+        lattice = sample_lattice3d(8, rate, rng=0)
+        fraction = lattice.largest_cluster_fraction()
+        print(
+            f"  p = {rate}: giant cluster holds {fraction:.0%} of sites "
+            f"(threshold is {CUBIC_BOND_THRESHOLD})"
+        )
+    print()
+
+    print("=== Success curves and transition points (Fig. 16 policy) ===")
+    table = TextTable(["fusion rate", "50% crossing (node side)", "chosen node side"])
+    for rate in (0.66, 0.72, 0.78):
+        curve = success_curve(48, rate, [6, 8, 12, 16, 24], trials=8, rng=1)
+        crossing = crossing_point(
+            [n for n, _ in curve], [s for _, s in curve], threshold=0.5
+        )
+        choice = choose_node_side(48, rate, target_success=0.9, trials=8, rng=1)
+        table.add_row(
+            rate,
+            "-" if crossing is None else f"{crossing:.1f}",
+            choice.node_side,
+        )
+    print(table)
+    print()
+
+    print("=== RSL sizing for a 3x3 virtual hardware ===")
+    sizing = TextTable(["fusion rate", "RSL side", "node side", "est. success"])
+    for rate in (0.70, 0.75, 0.80):
+        choice = rsl_size_for_virtual(3, rate, target_success=0.9, trials=8, rng=2)
+        sizing.add_row(
+            rate, choice.rsl_size, choice.node_side, f"{choice.estimated_success:.2f}"
+        )
+    print(sizing)
+    print()
+    print(
+        "Reading: better fusion modules shrink the node size, and with it the\n"
+        "RSL a given program needs — the quantitative form of Fig. 12(c)."
+    )
+
+
+if __name__ == "__main__":
+    main()

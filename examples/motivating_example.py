@@ -1,0 +1,64 @@
+"""The paper's motivating example (Section 3.1): why OneQ + retry fails.
+
+Builds small target structures from star resource states with the naive
+dynamic-retry strategy and measures how restarts (fatal failures) scale with
+the structure size and fusion rate — then shows OnePerc's percolation-based
+layer handling the same rates without any per-structure retries.
+
+Run:  python examples/motivating_example.py
+"""
+
+from repro.baseline.dynamic_retry import (
+    build_with_dynamic_retry,
+    chain_edges,
+    triangle_edges,
+)
+from repro.online import renormalize, sample_lattice
+from repro.utils.tables import TextTable
+
+
+def average_dynamic(edges, rate, trials=60):
+    rsls = 0
+    steps = 0
+    for seed in range(trials):
+        result = build_with_dynamic_retry(
+            edges, resource_state_size=4, fusion_success_rate=rate, rng=seed
+        )
+        rsls += result.rsls_consumed
+        steps += result.sequential_steps
+    return rsls / trials, steps / trials
+
+
+def main() -> None:
+    print("=== Dynamic retry on growing target structures (p = 0.75) ===")
+    table = TextTable(["target", "avg RSLs (restarts + 1)", "avg sequential steps"])
+    cases = [("triangle (Fig. 5a)", triangle_edges())] + [
+        (f"chain of {n} edges", chain_edges(n)) for n in (2, 4, 6, 8)
+    ]
+    for label, edges in cases:
+        rsls, steps = average_dynamic(edges, 0.75)
+        table.add_row(label, f"{rsls:.1f}", f"{steps:.1f}")
+    print(table)
+    print()
+
+    print("=== The same fusion rate, handled by percolation instead ===")
+    hits = 0
+    trials = 20
+    for seed in range(trials):
+        lattice = sample_lattice(36, 0.75, rng=seed)
+        hits += renormalize(lattice, 2).success
+    print(
+        f"one 36x36 RSL renormalizes to a 2x2 logical lattice "
+        f"{hits}/{trials} of the time — no retries, no sequential stalls,\n"
+        f"and the offline pass maps any program onto the result."
+    )
+    print()
+    print(
+        "Reading: dynamic retry's cost grows with the *structure*, and every\n"
+        "fusion waits for the previous outcome; OnePerc's cost is a property\n"
+        "of the *layer* and all fusions fire concurrently (Section 3.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

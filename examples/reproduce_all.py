@@ -1,0 +1,50 @@
+"""Regenerate every table and figure of the paper's evaluation.
+
+Run:  python examples/reproduce_all.py [bench|paper] [output.md]
+
+``bench`` (default) uses the scaled-down parameters (a few minutes);
+``paper`` uses the paper's own parameters (hours, as the artifact appendix
+warns).  With an output path the report is also written as markdown —
+EXPERIMENTS.md's measured sections were produced this way.
+"""
+
+import sys
+import time
+
+from repro.experiments import fig12, fig13, fig14, fig15, fig16, loss, table2, table3
+
+EXPERIMENTS = [
+    ("Table 2", table2),
+    ("Table 3", table3),
+    ("Fig. 12", fig12),
+    ("Fig. 13", fig13),
+    ("Fig. 14", fig14),
+    ("Fig. 15", fig15),
+    ("Fig. 16", fig16),
+    ("Photon loss (extension)", loss),
+]
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "bench"
+    output_path = sys.argv[2] if len(sys.argv) > 2 else None
+    sections: list[str] = []
+    for name, module in EXPERIMENTS:
+        start = time.perf_counter()
+        _rows, text = module.run(scale)
+        elapsed = time.perf_counter() - start
+        header = f"== {name} (scale={scale}, {elapsed:.1f}s) =="
+        print(header)
+        print(text)
+        print()
+        sections.append(f"### {name}\n\n```\n{text}\n```\n")
+    if output_path:
+        with open(output_path, "w") as handle:
+            handle.write(
+                f"# Reproduced evaluation (scale = {scale})\n\n" + "\n".join(sections)
+            )
+        print(f"wrote {output_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets `pip install -e .` / `setup.py develop` work offline
+on environments whose setuptools lacks the `wheel` package (PEP 660 editable
+installs need bdist_wheel; `develop` does not)."""
+from setuptools import setup
+
+setup()

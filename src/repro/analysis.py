@@ -1,0 +1,120 @@
+"""Statistics helpers for Monte-Carlo experiment results.
+
+The paper averages results over multiple executions and the artifact warns
+"slight deviation is expected in the reproduction"; this module provides the
+machinery to say *how much* deviation: bootstrap confidence intervals,
+repeated-run summaries, and a trend test used by the shape assertions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean with a bootstrap confidence interval."""
+
+    mean: float
+    low: float
+    high: float
+    samples: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3g} [{self.low:.3g}, {self.high:.3g}] (n={self.samples})"
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2
+
+
+def bootstrap_mean(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng=None,
+) -> Summary:
+    """Bootstrap percentile interval for the mean of ``values``."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = ensure_rng(rng)
+    data = np.asarray(values, dtype=float)
+    if len(data) == 1:
+        value = float(data[0])
+        return Summary(mean=value, low=value, high=value, samples=1)
+    means = rng.choice(data, size=(resamples, len(data)), replace=True).mean(axis=1)
+    tail = (1.0 - confidence) / 2
+    return Summary(
+        mean=float(data.mean()),
+        low=float(np.quantile(means, tail)),
+        high=float(np.quantile(means, 1.0 - tail)),
+        samples=len(data),
+    )
+
+
+def repeat_runs(
+    runner: Callable[[int], float],
+    repetitions: int,
+    confidence: float = 0.95,
+    rng=None,
+) -> Summary:
+    """Run ``runner(replica_index)`` repeatedly and summarize."""
+    if repetitions < 1:
+        raise ValueError("need at least one repetition")
+    values = [float(runner(index)) for index in range(repetitions)]
+    return bootstrap_mean(values, confidence=confidence, rng=rng)
+
+
+def monotone_fraction(series: Sequence[float], decreasing: bool = True) -> float:
+    """Fraction of consecutive steps moving in the claimed direction.
+
+    A robust trend score for noisy sweeps: 1.0 is perfectly monotone, 0.5 is
+    directionless.  Ties count as conforming (plateaus are fine).
+    """
+    if len(series) < 2:
+        raise ValueError("need at least two points for a trend")
+    steps = list(zip(series, series[1:]))
+    if decreasing:
+        good = sum(1 for a, b in steps if b <= a)
+    else:
+        good = sum(1 for a, b in steps if b >= a)
+    return good / len(steps)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for improvement ratios)."""
+    if not values:
+        raise ValueError("cannot average an empty sample")
+    if any(value <= 0 for value in values):
+        raise ValueError("geometric mean needs positive values")
+    return float(math.exp(sum(math.log(value) for value in values) / len(values)))
+
+
+def crossing_point(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    threshold: float,
+) -> float | None:
+    """Linear-interpolated x where an increasing series crosses ``threshold``.
+
+    Used to locate Fig. 16 transition points and compare them across fusion
+    rates.  Returns None when the series never crosses.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must align")
+    for (x0, y0), (x1, y1) in zip(zip(xs, ys), zip(xs[1:], ys[1:])):
+        if y0 < threshold <= y1:
+            if y1 == y0:
+                return float(x1)
+            return float(x0 + (threshold - y0) * (x1 - x0) / (y1 - y0))
+    if ys and ys[0] >= threshold:
+        return float(xs[0])
+    return None

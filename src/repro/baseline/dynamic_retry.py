@@ -1,0 +1,128 @@
+"""The motivating example's *dynamic retry* strategy (Section 3.1, Fig. 5).
+
+Before OnePerc, the obvious fix to OneQ's fusion-failure blindness is to
+retry each failed fusion in real time with another pair of qubits.  The
+paper's Fig. 5 shows why this fails to scale:
+
+* fusions must run *sequentially* (each retry depends on the previous
+  heralded outcome), stalling the RSL pipeline;
+* retries burn the leaves of the very sites being connected, so a run of
+  bad luck leaves a site with no fusable neighbours — a **fatal failure**
+  (Fig. 5(f)/(g)) that forces restarting the whole construction.
+
+This module implements that strategy faithfully on real graph states so the
+failure mode can be measured: the expected number of restarts grows with the
+target structure's size, while OnePerc's percolation approach does not care.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.graphstate.fusion import apply_fusion
+from repro.graphstate.graph import GraphState
+from repro.graphstate.resource import ResourceStateSpec, emit_star
+from repro.hardware.fusion import FusionDevice
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class DynamicBuildResult:
+    """Outcome of building one target structure with dynamic retries."""
+
+    success: bool
+    rsls_consumed: int
+    fusions_attempted: int
+    sequential_steps: int  # longest dependent fusion chain (time proxy)
+    fatal_failures: int
+
+
+def _build_once(
+    target_edges: list[tuple[int, int]],
+    num_sites: int,
+    spec: ResourceStateSpec,
+    device: FusionDevice,
+) -> tuple[bool, int, int]:
+    """One attempt: fuse leaf pairs per target edge, retrying on leftovers.
+
+    Returns (success, fusions attempted, sequential steps).  A fatal failure
+    is any edge whose endpoints ran out of leaves.
+    """
+    graph = GraphState()
+    stars = [emit_star(graph, spec, ("site", index)) for index in range(num_sites)]
+    leaves = [list(star.leaves) for star in stars]
+    fusions = 0
+    steps = 0
+    for a, b in target_edges:
+        connected = False
+        while leaves[a] and leaves[b]:
+            leaf_a = leaves[a].pop()
+            leaf_b = leaves[b].pop()
+            fusions += 1
+            steps += 1  # every retry is causally after the previous outcome
+            success = device.attempt("leaf-leaf")
+            apply_fusion(graph, leaf_a, leaf_b, success)
+            if success:
+                connected = True
+                break
+        if not connected:
+            return False, fusions, steps  # fatal: an endpoint is exhausted
+    # Sanity: the roots must now realize the target structure.
+    for a, b in target_edges:
+        if not graph.has_edge(stars[a].root, stars[b].root):
+            raise HardwareError("dynamic build bookkeeping diverged from the state")
+    return True, fusions, steps
+
+
+def build_with_dynamic_retry(
+    target_edges: list[tuple[int, int]],
+    resource_state_size: int = 4,
+    fusion_success_rate: float = 0.75,
+    rng=None,
+    max_restarts: int = 10_000,
+) -> DynamicBuildResult:
+    """Repeat whole-structure attempts until one lands fusion-clean.
+
+    Each restart consumes a fresh RSL (the destroyed photons cannot be
+    reused).  ``target_edges`` is the program graph over site indices; sites
+    are assumed adjacent on the layer (the Fig. 5 setting).
+    """
+    if not target_edges:
+        raise HardwareError("the target structure needs at least one edge")
+    num_sites = 1 + max(max(edge) for edge in target_edges)
+    spec = ResourceStateSpec(resource_state_size)
+    device = FusionDevice(fusion_success_rate, ensure_rng(rng))
+    total_fusions = 0
+    total_steps = 0
+    for attempt in range(1, max_restarts + 1):
+        success, fusions, steps = _build_once(target_edges, num_sites, spec, device)
+        total_fusions += fusions
+        total_steps += steps
+        if success:
+            return DynamicBuildResult(
+                success=True,
+                rsls_consumed=attempt,
+                fusions_attempted=total_fusions,
+                sequential_steps=total_steps,
+                fatal_failures=attempt - 1,
+            )
+    return DynamicBuildResult(
+        success=False,
+        rsls_consumed=max_restarts,
+        fusions_attempted=total_fusions,
+        sequential_steps=total_steps,
+        fatal_failures=max_restarts,
+    )
+
+
+def chain_edges(length: int) -> list[tuple[int, int]]:
+    """A linear target structure of ``length`` edges."""
+    if length < 1:
+        raise HardwareError("chain needs >= 1 edge")
+    return [(index, index + 1) for index in range(length)]
+
+
+def triangle_edges() -> list[tuple[int, int]]:
+    """Fig. 5(a)'s triangle ABC (plus nothing): the motivating target."""
+    return [(0, 1), (1, 2), (2, 0)]

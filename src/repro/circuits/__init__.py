@@ -1,0 +1,38 @@
+"""Circuit frontend: gate IR, {J, CZ} lowering, benchmarks, dense validation."""
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate, gate_matrix
+from repro.circuits.jcz import to_jcz
+from repro.circuits.benchmarks import (
+    BENCHMARKS,
+    make_benchmark,
+    qaoa,
+    qft,
+    random_maxcut_graph,
+    rca,
+    vqe,
+)
+from repro.circuits.simulate import (
+    simulate_statevector,
+    simulate_unitary,
+    states_equal_up_to_phase,
+    unitaries_equal_up_to_phase,
+)
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "gate_matrix",
+    "to_jcz",
+    "BENCHMARKS",
+    "make_benchmark",
+    "qaoa",
+    "qft",
+    "rca",
+    "vqe",
+    "random_maxcut_graph",
+    "simulate_statevector",
+    "simulate_unitary",
+    "states_equal_up_to_phase",
+    "unitaries_equal_up_to_phase",
+]

@@ -1,0 +1,157 @@
+"""Lowering arbitrary circuits to the ``{J(alpha), CZ}`` universal set.
+
+The MBQC translation (Fig. 3 of the paper) consumes circuits written with
+``J(alpha) = H . P(alpha)`` and ``CZ`` only.  The identities used here:
+
+* ``H = J(0)``
+* ``P(theta) = J(0) J(theta)``   (apply ``J(theta)`` first, then ``J(0)``)
+* ``Rz(theta) = P(theta)`` up to global phase
+* ``Rx(theta) = J(theta) J(0)`` (``H Rz(theta) H``)
+* ``CX(c, t) = (J(0) on t) CZ (J(0) on t)``
+* ``CCX`` via the standard 7-T decomposition, ``SWAP`` via three ``CX``.
+
+Adjacent ``J`` cancellation (``J(0) J(0) = I`` and angle merging through
+``P``) is applied as a peephole pass, mirroring how PyZX would simplify the
+pattern before mapping.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+from repro.errors import CircuitError
+
+_PI = math.pi
+
+
+def _lower_gate(gate: Gate, out: Circuit) -> None:
+    """Append the ``{J, CZ}`` expansion of ``gate`` to ``out``."""
+    name = gate.name
+    qubits = gate.qubits
+    if name == "j":
+        out.j(gate.params[0], qubits[0])
+    elif name == "cz":
+        out.cz(*qubits)
+    elif name == "h":
+        out.j(0.0, qubits[0])
+    elif name in ("rz", "p"):
+        out.j(gate.params[0], qubits[0])
+        out.j(0.0, qubits[0])
+    elif name == "z":
+        out.j(_PI, qubits[0])
+        out.j(0.0, qubits[0])
+    elif name == "s":
+        out.j(_PI / 2, qubits[0])
+        out.j(0.0, qubits[0])
+    elif name == "sdg":
+        out.j(-_PI / 2, qubits[0])
+        out.j(0.0, qubits[0])
+    elif name == "t":
+        out.j(_PI / 4, qubits[0])
+        out.j(0.0, qubits[0])
+    elif name == "tdg":
+        out.j(-_PI / 4, qubits[0])
+        out.j(0.0, qubits[0])
+    elif name == "x":
+        out.j(0.0, qubits[0])
+        out.j(_PI, qubits[0])
+    elif name == "rx":
+        out.j(0.0, qubits[0])
+        out.j(gate.params[0], qubits[0])
+    elif name == "y":
+        # Y = i X Z: lower as Z then X (global phase dropped).
+        _lower_gate(Gate("z", qubits), out)
+        _lower_gate(Gate("x", qubits), out)
+    elif name == "ry":
+        # Ry(t) = Rz(pi/2) Rx(t) Rz(-pi/2) as matrices; rightmost runs first.
+        _lower_gate(Gate("rz", qubits, (-_PI / 2,)), out)
+        _lower_gate(Gate("rx", qubits, gate.params), out)
+        _lower_gate(Gate("rz", qubits, (_PI / 2,)), out)
+    elif name == "cx":
+        control, target = qubits
+        out.j(0.0, target)
+        out.cz(control, target)
+        out.j(0.0, target)
+    elif name == "cp":
+        # Controlled phase via two CX and three Rz (exact up to global phase).
+        theta = gate.params[0]
+        control, target = qubits
+        _lower_gate(Gate("rz", (control,), (theta / 2,)), out)
+        _lower_gate(Gate("rz", (target,), (theta / 2,)), out)
+        _lower_gate(Gate("cx", (control, target)), out)
+        _lower_gate(Gate("rz", (target,), (-theta / 2,)), out)
+        _lower_gate(Gate("cx", (control, target)), out)
+    elif name == "swap":
+        a, b = qubits
+        for pair in ((a, b), (b, a), (a, b)):
+            _lower_gate(Gate("cx", pair), out)
+    elif name == "ccx":
+        c1, c2, target = qubits
+        steps = [
+            Gate("h", (target,)),
+            Gate("cx", (c2, target)),
+            Gate("tdg", (target,)),
+            Gate("cx", (c1, target)),
+            Gate("t", (target,)),
+            Gate("cx", (c2, target)),
+            Gate("tdg", (target,)),
+            Gate("cx", (c1, target)),
+            Gate("t", (c2,)),
+            Gate("t", (target,)),
+            Gate("h", (target,)),
+            Gate("cx", (c1, c2)),
+            Gate("t", (c1,)),
+            Gate("tdg", (c2,)),
+            Gate("cx", (c1, c2)),
+        ]
+        for step in steps:
+            _lower_gate(step, out)
+    else:
+        raise CircuitError(f"no {{J, CZ}} lowering for gate {name!r}")
+
+
+def _merge_adjacent_j(circuit: Circuit) -> Circuit:
+    """Peephole pass: cancel ``J(0) J(0)`` pairs per wire.
+
+    ``J(0) = H`` so two adjacent ``J(0)`` on the same wire (with nothing in
+    between on that wire) are the identity.  This is the only always-safe
+    J-merge; angle fusion through ``P`` is left to the measurement pattern,
+    where it happens for free (adjacent ``E(0)`` measurements).
+    """
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    pending: dict[int, Gate] = {}  # wire -> buffered J(0)
+
+    def flush(qubit: int) -> None:
+        gate = pending.pop(qubit, None)
+        if gate is not None:
+            out.append(gate)
+
+    for gate in circuit.gates:
+        if gate.name == "j" and gate.params[0] == 0.0:
+            qubit = gate.qubits[0]
+            if qubit in pending:
+                pending.pop(qubit)  # J(0) J(0) = I
+            else:
+                pending[qubit] = gate
+            continue
+        for qubit in gate.qubits:
+            flush(qubit)
+        out.append(gate)
+    for qubit in sorted(pending):
+        flush(qubit)
+    return out
+
+
+def to_jcz(circuit: Circuit, simplify: bool = True) -> Circuit:
+    """Lower ``circuit`` to ``{J(alpha), CZ}`` (global phases dropped).
+
+    With ``simplify`` (default) adjacent ``J(0)`` pairs are cancelled.
+    """
+    lowered = Circuit(circuit.num_qubits, name=f"{circuit.name}:jcz")
+    for gate in circuit.gates:
+        _lower_gate(gate, lowered)
+    if simplify:
+        lowered = _merge_adjacent_j(lowered)
+    return lowered

@@ -1,0 +1,80 @@
+"""Dense statevector simulation of circuits (validation oracle).
+
+Used by the test-suite to check that (a) the ``{J, CZ}`` lowering preserves
+every benchmark's unitary action and (b) the MBQC execution of a measurement
+pattern reproduces the circuit it was translated from.  Not used by the
+compiler itself — compilation never simulates amplitudes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import gate_matrix
+from repro.errors import CircuitError
+
+#: Refuse dense simulation beyond this width (2^14 amplitudes is plenty for tests).
+MAX_DENSE_QUBITS = 14
+
+
+def apply_gate(state: np.ndarray, matrix: np.ndarray, qubits: tuple[int, ...], num_qubits: int) -> np.ndarray:
+    """Apply ``matrix`` on ``qubits`` (qubit 0 = most significant axis)."""
+    k = len(qubits)
+    tensor = state.reshape([2] * num_qubits)
+    axes = list(qubits)
+    tensor = np.moveaxis(tensor, axes, range(k))
+    folded = tensor.reshape(2**k, -1)
+    folded = matrix @ folded
+    tensor = folded.reshape([2] * num_qubits)
+    tensor = np.moveaxis(tensor, range(k), axes)
+    return tensor.reshape(-1)
+
+
+def simulate_statevector(circuit: Circuit, initial: np.ndarray | None = None) -> np.ndarray:
+    """The statevector after running ``circuit`` from ``|0...0>`` (or ``initial``)."""
+    if circuit.num_qubits > MAX_DENSE_QUBITS:
+        raise CircuitError(
+            f"dense simulation capped at {MAX_DENSE_QUBITS} qubits, "
+            f"got {circuit.num_qubits}"
+        )
+    dim = 2**circuit.num_qubits
+    if initial is None:
+        state = np.zeros(dim, dtype=complex)
+        state[0] = 1.0
+    else:
+        state = np.asarray(initial, dtype=complex).copy()
+        if state.shape != (dim,):
+            raise CircuitError(f"initial state must have shape ({dim},)")
+    for gate in circuit.gates:
+        state = apply_gate(state, gate_matrix(gate), gate.qubits, circuit.num_qubits)
+    return state
+
+
+def simulate_unitary(circuit: Circuit) -> np.ndarray:
+    """The full unitary of ``circuit`` (column ``b`` = image of basis state ``b``)."""
+    if circuit.num_qubits > MAX_DENSE_QUBITS // 2:
+        raise CircuitError("unitary simulation is quadratically sized; keep it small")
+    dim = 2**circuit.num_qubits
+    unitary = np.eye(dim, dtype=complex)
+    for column in range(dim):
+        unitary[:, column] = simulate_statevector(
+            circuit, initial=np.eye(dim, dtype=complex)[:, column]
+        )
+    return unitary
+
+
+def states_equal_up_to_phase(a: np.ndarray, b: np.ndarray, tolerance: float = 1e-8) -> bool:
+    """Whether two state vectors agree up to a global phase."""
+    overlap = np.vdot(a, b)
+    return bool(abs(abs(overlap) - 1.0) <= tolerance * max(1.0, np.linalg.norm(a) * np.linalg.norm(b)))
+
+
+def unitaries_equal_up_to_phase(a: np.ndarray, b: np.ndarray, tolerance: float = 1e-8) -> bool:
+    """Whether two unitaries agree up to a global phase."""
+    # Align phases via the largest entry of a.
+    index = np.unravel_index(np.argmax(np.abs(a)), a.shape)
+    if abs(b[index]) < tolerance:
+        return False
+    phase = a[index] / b[index]
+    return bool(np.allclose(a, phase * b, atol=max(tolerance, 1e-10)))

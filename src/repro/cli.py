@@ -1,0 +1,156 @@
+"""Command-line interface: compile benchmarks, run experiments, poke the
+online pass.
+
+Usage (also via ``python -m repro.cli``)::
+
+    python -m repro.cli compile --benchmark qaoa --qubits 4 --rate 0.75
+    python -m repro.cli baseline --benchmark qft --qubits 4 --rate 0.75
+    python -m repro.cli experiment --name table2 --scale bench
+    python -m repro.cli percolate --size 24 --rate 0.75 --node 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.circuits.benchmarks import BENCHMARKS, make_benchmark
+from repro.compiler.driver import OnePercCompiler
+
+
+def _add_common_compile_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--benchmark", required=True, choices=sorted(BENCHMARKS))
+    parser.add_argument("--qubits", type=int, required=True)
+    parser.add_argument("--rate", type=float, default=0.75, help="fusion success rate")
+    parser.add_argument("--stars", type=int, default=4, help="resource state size")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rsl-size", type=int, default=None)
+    parser.add_argument("--virtual-size", type=int, default=None)
+    parser.add_argument("--max-rsl", type=int, default=10**6)
+
+
+def _build_compiler(args: argparse.Namespace) -> OnePercCompiler:
+    return OnePercCompiler(
+        fusion_success_rate=args.rate,
+        resource_state_size=args.stars,
+        rsl_size=args.rsl_size,
+        virtual_size=args.virtual_size,
+        seed=args.seed,
+        max_rsl=args.max_rsl,
+    )
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    circuit = make_benchmark(args.benchmark, args.qubits, seed=args.seed)
+    result = _build_compiler(args).compile(circuit)
+    print(f"benchmark:      {circuit.name}")
+    print(f"#RSL:           {result.rsl_count}")
+    print(f"#fusion:        {result.fusion_count}")
+    print(f"logical layers: {result.logical_layers}")
+    print(f"PL ratio:       {result.pl_ratio:.2f}")
+    print(f"offline time:   {result.offline_seconds:.3f} s")
+    print(f"online time:    {result.online_seconds:.3f} s")
+    if args.show_ir:
+        from repro.viz import render_ir
+
+        print()
+        print(render_ir(result.mapping.ir, max_layers=args.show_ir))
+    return 0
+
+
+def cmd_baseline(args: argparse.Namespace) -> int:
+    circuit = make_benchmark(args.benchmark, args.qubits, seed=args.seed)
+    result = _build_compiler(args).compile_baseline(circuit)
+    capped = " (hit the cap)" if result.capped else ""
+    print(f"benchmark: {circuit.name}")
+    print(f"#RSL:      {result.rsl_count}{capped}")
+    print(f"#fusion:   {result.fusion_count}")
+    print(f"restarts:  {result.restarts}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro import experiments
+
+    modules = {
+        "table2": experiments.table2,
+        "table3": experiments.table3,
+        "fig12": experiments.fig12,
+        "fig13": experiments.fig13,
+        "fig14": experiments.fig14,
+        "fig15": experiments.fig15,
+        "fig16": experiments.fig16,
+        "loss": experiments.loss,
+    }
+    module = modules[args.name]
+    _rows, text = module.run(args.scale, seed=args.seed)
+    print(text)
+    return 0
+
+
+def cmd_percolate(args: argparse.Namespace) -> int:
+    from repro.online.percolation import sample_lattice
+    from repro.online.renormalize import renormalize
+    from repro.viz import render_renormalization
+
+    lattice = sample_lattice(args.size, args.rate, rng=args.seed)
+    target = max(1, args.size // args.node)
+    result = renormalize(lattice.copy(), target)
+    print(
+        f"RSL {args.size}x{args.size} at p={args.rate}: renormalization to "
+        f"{target}x{target} {'succeeded' if result.success else 'FAILED'} "
+        f"(achieved {result.lattice_size}, visited {result.visited_sites})"
+    )
+    print(render_renormalization(lattice, result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="OnePerc reproduction CLI"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = commands.add_parser("compile", help="compile with OnePerc")
+    _add_common_compile_args(compile_parser)
+    compile_parser.add_argument(
+        "--show-ir", type=int, default=0, metavar="N", help="print the first N IR layers"
+    )
+    compile_parser.set_defaults(handler=cmd_compile)
+
+    baseline_parser = commands.add_parser(
+        "baseline", help="run the OneQ repeat-until-success baseline"
+    )
+    _add_common_compile_args(baseline_parser)
+    baseline_parser.set_defaults(handler=cmd_baseline)
+
+    experiment_parser = commands.add_parser(
+        "experiment", help="regenerate a table/figure"
+    )
+    experiment_parser.add_argument(
+        "--name",
+        required=True,
+        choices=["table2", "table3", "fig12", "fig13", "fig14", "fig15", "fig16", "loss"],
+    )
+    experiment_parser.add_argument("--scale", default="bench", choices=["bench", "paper"])
+    experiment_parser.add_argument("--seed", type=int, default=0)
+    experiment_parser.set_defaults(handler=cmd_experiment)
+
+    percolate_parser = commands.add_parser(
+        "percolate", help="sample and renormalize one RSL"
+    )
+    percolate_parser.add_argument("--size", type=int, default=24)
+    percolate_parser.add_argument("--rate", type=float, default=0.75)
+    percolate_parser.add_argument("--node", type=int, default=8)
+    percolate_parser.add_argument("--seed", type=int, default=0)
+    percolate_parser.set_defaults(handler=cmd_percolate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

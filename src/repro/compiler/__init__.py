@@ -1,0 +1,15 @@
+"""End-to-end compiler driver and result records."""
+
+from repro.compiler.driver import (
+    CompilationResult,
+    OnePercCompiler,
+    rsl_size_for,
+    virtual_size_for,
+)
+
+__all__ = [
+    "OnePercCompiler",
+    "CompilationResult",
+    "virtual_size_for",
+    "rsl_size_for",
+]

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the OnePerc reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the compiler with a single ``except`` clause
+while still distinguishing the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphStateError(ReproError):
+    """Invalid operation on a graph state (missing qubit, bad fusion, ...)."""
+
+
+class CircuitError(ReproError):
+    """Malformed circuit or gate application (bad qubit index, arity, ...)."""
+
+
+class TranslationError(ReproError):
+    """Circuit -> measurement-pattern translation failed."""
+
+
+class HardwareError(ReproError):
+    """Hardware model misconfiguration (bad RSL size, degrees, lifetime)."""
+
+
+class RenormalizationError(ReproError):
+    """2D renormalization could not run with the given parameters."""
+
+
+class IRError(ReproError):
+    """FlexLattice IR constraint violation."""
+
+
+class InstructionError(IRError):
+    """Invalid intermediate-level instruction or instruction sequence."""
+
+
+class MappingError(ReproError):
+    """Offline mapping could not place or route the program graph state."""
+
+
+class MemoryBudgetExceeded(MappingError):
+    """The mapper's classical-memory accounting exceeded the configured budget.
+
+    Mirrors the '-' entries of Table 3: without the refresh mechanism, large
+    benchmarks cannot be compiled within a 32 GB budget.
+    """
+
+    def __init__(self, used_bytes: int, budget_bytes: int) -> None:
+        self.used_bytes = used_bytes
+        self.budget_bytes = budget_bytes
+        super().__init__(
+            f"classical memory accounting used {used_bytes} bytes, "
+            f"exceeding the budget of {budget_bytes} bytes"
+        )
+
+
+class CompilationError(ReproError):
+    """End-to-end compilation failed."""
+
+
+class BaselineExploded(ReproError):
+    """The OneQ repeat-until-success baseline hit its #RSL cap.
+
+    The paper reports these entries as '> 10^6' in Table 2; callers should
+    catch this and record the cap rather than treating it as a crash.
+    """
+
+    def __init__(self, cap: int, rsl_consumed: int, fusions: int) -> None:
+        self.cap = cap
+        self.rsl_consumed = rsl_consumed
+        self.fusions = fusions
+        super().__init__(
+            f"baseline exceeded the cap of {cap} resource state layers "
+            f"(consumed {rsl_consumed}, {fusions} fusions attempted)"
+        )

@@ -1,0 +1,22 @@
+"""Experiment harness: one module per table/figure of the paper's Section 7.
+
+Each module exposes ``run(scale="bench"|"paper", seed=...)`` returning
+``(structured rows, rendered table)``.  ``examples/reproduce_all.py`` runs
+everything and regenerates EXPERIMENTS.md's measured columns.
+"""
+
+from repro.experiments import fig12, fig13, fig14, fig15, fig16, loss, table2, table3
+from repro.experiments.common import BenchmarkCase, SCALES
+
+__all__ = [
+    "table2",
+    "table3",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "loss",
+    "BenchmarkCase",
+    "SCALES",
+]

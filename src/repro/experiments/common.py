@@ -1,0 +1,60 @@
+"""Shared experiment scaffolding: scaled parameter sets and sweep helpers.
+
+Every experiment module exposes ``run(scale=...)`` returning structured rows
+plus a rendered table.  Two scales exist:
+
+* ``"bench"`` — small parameters for CI / pytest-benchmark (minutes end to
+  end).  Trends survive; absolute values shrink.
+* ``"paper"`` — the paper's own parameters (Table 1, Figs. 12-16 captions).
+  Hours of CPU, as the artifact appendix warns.
+
+EXPERIMENTS.md records which scale produced the checked-in numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.utils.rng import RandomStream
+
+SCALES = ("bench", "paper")
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One (benchmark family, qubit count) cell of Table 2 / Table 3."""
+
+    family: str
+    num_qubits: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.family.upper()}-{self.num_qubits}"
+
+
+def check_scale(scale: str) -> None:
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+
+
+def stream_for(experiment: str, seed: int | None = None) -> RandomStream:
+    """Deterministic per-experiment random stream."""
+    return RandomStream(seed).child("experiments", experiment)
+
+
+def average(values: list[float]) -> float:
+    return sum(values) / len(values) if values else float("nan")
+
+
+def sweep(
+    points: list,
+    runner: Callable,
+    trials: int,
+) -> list[tuple[object, float]]:
+    """Average ``runner(point, trial)`` over ``trials`` per sweep point."""
+    rows = []
+    for point in points:
+        values = [float(runner(point, trial)) for trial in range(trials)]
+        rows.append((point, average(values)))
+    return rows

@@ -1,0 +1,122 @@
+"""Fig. 12: sensitivity of #RSL to resource state size, RSL size, fusion rate.
+
+Three sweeps over the same compiled benchmarks:
+
+* (a) larger resource states bring more native degree (less merging), so
+  #RSL falls as the star size grows from 4 to 7;
+* (b) a larger RSL gives the renormalization more raw material, so #RSL
+  falls as the hardware grows;
+* (c) a higher fusion success probability yields larger renormalized
+  lattices, so #RSL falls as the rate rises from 0.66 to 0.78.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.benchmarks import make_benchmark
+from repro.compiler.driver import OnePercCompiler
+from repro.experiments.common import check_scale
+from repro.utils.tables import TextTable
+
+#: (families, qubits, virtual size) per scale.
+SCALE_PROGRAM = {
+    "bench": (("qaoa", "vqe"), 4, 2),
+    "paper": (("qaoa", "qft", "vqe", "rca"), 36, 6),
+}
+
+#: Sweep points per scale: (resource sizes, RSL sizes, fusion rates,
+#: baseline RSL size (a), RSL size for the rate sweep (c), baseline rate).
+#: The bench RSL sizes sit in the regime where the renormalized node size
+#: actually constrains success, so the trends are visible at small scale.
+SCALE_SWEEPS = {
+    "bench": ((4, 5, 6, 7), (28, 36, 48, 60), (0.66, 0.70, 0.75, 0.78), 48, 40, 0.75),
+    "paper": (
+        (4, 5, 6, 7),
+        (42, 60, 84, 108, 120),
+        (0.66, 0.69, 0.72, 0.75, 0.78),
+        84,
+        84,
+        0.75,
+    ),
+}
+
+
+@dataclass
+class SweepPoint:
+    panel: str  # "a" | "b" | "c"
+    x: float
+    benchmark: str
+    rsl_count: int
+
+
+def _compile_rsl(
+    family: str,
+    qubits: int,
+    virtual: int,
+    resource_size: int,
+    rsl_size: int,
+    rate: float,
+    seed: int,
+    max_rsl: int = 10**5,
+) -> int:
+    compiler = OnePercCompiler(
+        fusion_success_rate=rate,
+        resource_state_size=resource_size,
+        rsl_size=rsl_size,
+        virtual_size=virtual,
+        seed=seed,
+        max_rsl=max_rsl,
+    )
+    return compiler.compile(make_benchmark(family, qubits, seed=seed)).rsl_count
+
+
+def run(scale: str = "bench", seed: int = 0) -> tuple[list[SweepPoint], str]:
+    check_scale(scale)
+    families, qubits, virtual = SCALE_PROGRAM[scale]
+    resource_sizes, rsl_sizes, rates, rsl_a, rsl_c, base_rate = SCALE_SWEEPS[scale]
+    points: list[SweepPoint] = []
+    for family in families:
+        label = f"{family.upper()}{qubits}"
+        for size in resource_sizes:  # panel (a): hardware fixed, stars vary
+            points.append(
+                SweepPoint(
+                    "a",
+                    size,
+                    label,
+                    _compile_rsl(family, qubits, virtual, size, rsl_a, base_rate, seed),
+                )
+            )
+        for rsl in rsl_sizes:  # panel (b): 7-qubit stars, RSL varies
+            # A larger RSL renormalizes to a larger lattice, so the virtual
+            # hardware grows with it (Section 7.3): that extra routing space
+            # is what cuts #RSL.
+            virtual_b = max(virtual, rsl // 14)
+            points.append(
+                SweepPoint(
+                    "b",
+                    rsl,
+                    label,
+                    _compile_rsl(family, qubits, virtual_b, 7, rsl, base_rate, seed),
+                )
+            )
+        for rate in rates:  # panel (c): 7-qubit stars, rate varies
+            points.append(
+                SweepPoint(
+                    "c",
+                    rate,
+                    label,
+                    _compile_rsl(family, qubits, virtual, 7, rsl_c, rate, seed),
+                )
+            )
+    return points, render(points)
+
+
+def render(points: list[SweepPoint]) -> str:
+    table = TextTable(
+        ["Panel", "X", "Benchmark", "#RSL"],
+        title="Fig. 12: #RSL vs resource state size (a), RSL size (b), fusion rate (c)",
+    )
+    for point in points:
+        table.add_row(point.panel, point.x, point.benchmark, point.rsl_count)
+    return table.render()

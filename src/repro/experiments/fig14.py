@@ -1,0 +1,112 @@
+"""Fig. 14: online processing time per RSL.
+
+* (a) seconds-per-RSL is flat in the *program* size (the online pass is
+  program-agnostic: its work depends on the RSL, not on what runs on it);
+* (b) seconds-per-RSL grows with the RSL size and is cut substantially by
+  modular renormalization (4/9/16 modules).
+
+We report wall-clock seconds like the paper (compiler implemented in
+Python both here and there), plus the deterministic visited-sites proxy so
+the trend is machine-independent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.circuits.benchmarks import make_benchmark
+from repro.compiler.driver import OnePercCompiler
+from repro.experiments.common import check_scale
+from repro.online.modular import modular_renormalize
+from repro.online.percolation import sample_lattice
+from repro.online.renormalize import renormalize
+from repro.utils.rng import ensure_rng
+from repro.utils.tables import TextTable
+
+SCALE_14A = {
+    "bench": (("qaoa", "vqe"), (4, 9), 36, 0.75),
+    "paper": (("qaoa", "qft", "vqe", "rca"), (4, 9, 16, 25, 36), 96, 0.75),
+}
+SCALE_14B = {
+    "bench": ((48, 72, 96), 12, (1, 4, 9, 16), 7.0, 0.75, 5),
+    "paper": ((96, 144, 192, 240), 24, (1, 4, 9, 16), 7.0, 0.75, 10),
+}
+
+
+@dataclass
+class Fig14Result:
+    per_program: list[tuple[str, float]] = field(default_factory=list)
+    # (program label, seconds per RSL)
+    per_rsl_size: list[tuple[int, int, float, float]] = field(default_factory=list)
+    # (RSL size, modules, seconds per attempt, visited sites per attempt)
+
+
+def run(scale: str = "bench", seed: int = 0) -> tuple[Fig14Result, str]:
+    check_scale(scale)
+    result = Fig14Result()
+
+    families, qubit_counts, rsl_size, rate = SCALE_14A[scale]
+    for family in families:
+        for qubits in qubit_counts:
+            compiler = OnePercCompiler(
+                fusion_success_rate=rate,
+                resource_state_size=7,
+                rsl_size=rsl_size,
+                virtual_size=2,
+                seed=seed,
+                max_rsl=10**5,
+            )
+            compiled = compiler.compile(make_benchmark(family, qubits, seed=seed))
+            result.per_program.append(
+                (f"{family.upper()}{qubits}", compiled.online_seconds_per_rsl)
+            )
+
+    rng = ensure_rng(seed)
+    rsl_sizes, node, module_counts, mi_ratio, rate_b, trials = SCALE_14B[scale]
+    for rsl in rsl_sizes:
+        for modules in module_counts:
+            seconds = 0.0
+            wall_visited = 0.0
+            total_visited = 0.0
+            for _ in range(trials):
+                lattice = sample_lattice(rsl, rate_b, rng)
+                start = time.perf_counter()
+                if modules == 1:
+                    outcome = renormalize(lattice, max(1, rsl // node))
+                    wall_visited += outcome.visited_sites
+                    total_visited += outcome.visited_sites
+                else:
+                    outcome = modular_renormalize(lattice, node, modules, mi_ratio)
+                    # Modules renormalize concurrently on hardware; our
+                    # process runs them serially, so the concurrent
+                    # wall-clock is estimated from the work split.
+                    wall_visited += outcome.wall_visited_sites
+                    total_visited += outcome.total_visited_sites
+                seconds += time.perf_counter() - start
+            serial_seconds = seconds / trials
+            concurrency = wall_visited / total_visited if total_visited else 1.0
+            result.per_rsl_size.append(
+                (rsl, modules, serial_seconds * concurrency, wall_visited / trials)
+            )
+    return result, render(result)
+
+
+def render(result: Fig14Result) -> str:
+    parts = []
+    table_a = TextTable(
+        ["Program", "Seconds per RSL"],
+        title="Fig. 14(a): online time per RSL vs program size",
+    )
+    for label, seconds in result.per_program:
+        table_a.add_row(label, f"{seconds:.4f}")
+    parts.append(table_a.render())
+
+    table_b = TextTable(
+        ["RSL size", "Modules", "Concurrent seconds", "Visited sites (wall)"],
+        title="Fig. 14(b): online time per RSL vs RSL size and modularity",
+    )
+    for rsl, modules, seconds, visited in result.per_rsl_size:
+        table_b.add_row(rsl, modules, f"{seconds:.4f}", f"{visited:,.0f}")
+    parts.append(table_b.render())
+    return "\n\n".join(parts)

@@ -1,0 +1,81 @@
+"""Fig. 15: offline compilation time.
+
+* (a) offline mapping time grows with the program size (fixed virtual
+  hardware);
+* (b) for a fixed program, mapping time is U-shaped in the virtual hardware
+  length: too small a lattice inflates the layer count, too large a lattice
+  inflates the per-layer work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.circuits.benchmarks import make_benchmark
+from repro.experiments.common import check_scale
+from repro.mbqc.translate import translate_circuit
+from repro.offline.mapper import OfflineMapper
+from repro.utils.tables import TextTable
+
+SCALE_15A = {
+    "bench": (("qaoa", "vqe"), (4, 9, 16), 4),
+    "paper": (("qaoa", "qft", "vqe", "rca"), (9, 16, 25, 36, 49), 4),
+}
+SCALE_15B = {
+    "bench": (("qaoa", "vqe"), 16, (3, 4, 5, 6, 8)),
+    "paper": (("qaoa", "qft", "vqe", "rca"), 36, (3, 4, 5, 6, 7, 8, 9, 10)),
+}
+
+
+@dataclass
+class Fig15Result:
+    by_program_size: list[tuple[str, int, float]] = field(default_factory=list)
+    # (family, qubits, seconds)
+    by_virtual_size: list[tuple[str, int, float, int]] = field(default_factory=list)
+    # (family, virtual width, seconds, layers)
+
+
+def _time_mapping(family: str, qubits: int, width: int, seed: int) -> tuple[float, int]:
+    pattern = translate_circuit(make_benchmark(family, qubits, seed=seed))
+    start = time.perf_counter()
+    result = OfflineMapper(width=width).map_pattern(pattern)
+    return time.perf_counter() - start, result.layer_count
+
+
+def run(scale: str = "bench", seed: int = 0) -> tuple[Fig15Result, str]:
+    check_scale(scale)
+    result = Fig15Result()
+
+    families, qubit_counts, width = SCALE_15A[scale]
+    for family in families:
+        for qubits in qubit_counts:
+            seconds, _layers = _time_mapping(family, qubits, width, seed)
+            result.by_program_size.append((family.upper(), qubits, seconds))
+
+    families_b, qubits_b, widths = SCALE_15B[scale]
+    for family in families_b:
+        for width_b in widths:
+            seconds, layers = _time_mapping(family, qubits_b, width_b, seed)
+            result.by_virtual_size.append((family.upper(), width_b, seconds, layers))
+    return result, render(result)
+
+
+def render(result: Fig15Result) -> str:
+    parts = []
+    table_a = TextTable(
+        ["Benchmark", "#Qubits", "Offline seconds"],
+        title="Fig. 15(a): offline compile time vs program size (4x4 virtual hardware)",
+    )
+    for family, qubits, seconds in result.by_program_size:
+        table_a.add_row(family, qubits, f"{seconds:.3f}")
+    parts.append(table_a.render())
+
+    table_b = TextTable(
+        ["Benchmark", "Virtual length", "Offline seconds", "Layers"],
+        title="Fig. 15(b): offline compile time vs virtual hardware length",
+    )
+    for family, width, seconds, layers in result.by_virtual_size:
+        table_b.add_row(family, width, f"{seconds:.3f}", layers)
+    parts.append(table_b.render())
+    return "\n\n".join(parts)

@@ -1,0 +1,68 @@
+"""Fig. 16: renormalization success rate vs average node size.
+
+The success probability of carving a coarse lattice of a given node size out
+of a percolated RSL rises sharply — a sigmoid in the node side — and the
+transition point moves left as the fusion success probability grows.  The
+"suitable" node size of Fig. 13(a) is where each of these curves saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import check_scale
+from repro.online.percolation import sample_lattice
+from repro.online.renormalize import renormalize
+from repro.utils.rng import ensure_rng
+from repro.utils.tables import TextTable
+
+#: (RSL size, node sides, fusion rates, trials) per scale.
+SCALE_SETTINGS = {
+    "bench": (72, (6, 9, 12, 18, 24, 36), (0.66, 0.72, 0.78), 20),
+    "paper": (200, (5, 8, 10, 20, 25, 40, 50), (0.66, 0.69, 0.72, 0.75, 0.78), 50),
+}
+
+
+@dataclass
+class Fig16Point:
+    fusion_rate: float
+    node_side: int
+    success_rate: float
+
+
+def success_rate(
+    rsl_size: int,
+    node_side: int,
+    fusion_rate: float,
+    trials: int,
+    rng,
+) -> float:
+    """Monte-Carlo renormalization success rate at one sweep point."""
+    target = max(1, rsl_size // node_side)
+    hits = sum(
+        renormalize(sample_lattice(rsl_size, fusion_rate, rng), target).success
+        for _ in range(trials)
+    )
+    return hits / trials
+
+
+def run(scale: str = "bench", seed: int = 0) -> tuple[list[Fig16Point], str]:
+    check_scale(scale)
+    rsl_size, node_sides, rates, trials = SCALE_SETTINGS[scale]
+    rng = ensure_rng(seed)
+    points = [
+        Fig16Point(rate, node, success_rate(rsl_size, node, rate, trials, rng))
+        for rate in rates
+        for node in node_sides
+    ]
+    return points, render(points, rsl_size)
+
+
+def render(points: list[Fig16Point], rsl_size: int) -> str:
+    table = TextTable(
+        ["Fusion rate", "Node side", "Success rate"],
+        title=f"Fig. 16: renormalization success rate ({rsl_size}x{rsl_size} RSL)",
+    )
+    for point in points:
+        table.add_row(point.fusion_rate, point.node_side, f"{point.success_rate:.2f}")
+    return table.render()

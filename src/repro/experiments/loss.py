@@ -1,0 +1,87 @@
+"""Photon-loss sensitivity (extension of Section 5.2's loss discussion).
+
+The paper notes the reshaping process tolerates photon loss: a fusion only
+heralds success when *both* photons arrive, so loss at rate ``l`` just scales
+the effective fusion success probability by ``(1 - l)^2``, "possibly leading
+to more routing layers between logical layers".  This experiment quantifies
+that: #RSL as a function of the loss rate, down to where the effective rate
+crosses the viability region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.benchmarks import make_benchmark
+from repro.compiler.driver import OnePercCompiler
+from repro.experiments.common import check_scale
+from repro.hardware.architecture import HardwareConfig
+from repro.utils.tables import TextTable
+
+#: (families, qubits, virtual size, RSL size, loss rates) per scale.
+SCALE_SETTINGS = {
+    "bench": (("qaoa", "vqe"), 4, 2, 44, (0.0, 0.01, 0.02, 0.04)),
+    "paper": (("qaoa", "qft", "vqe", "rca"), 36, 6, 132, (0.0, 0.01, 0.02, 0.04, 0.06)),
+}
+
+
+@dataclass
+class LossPoint:
+    benchmark: str
+    loss_rate: float
+    effective_rate: float
+    rsl_count: int
+    pl_ratio: float
+
+
+def run(scale: str = "bench", seed: int = 0) -> tuple[list[LossPoint], str]:
+    check_scale(scale)
+    families, qubits, virtual, rsl_size, loss_rates = SCALE_SETTINGS[scale]
+    points: list[LossPoint] = []
+    for family in families:
+        circuit = make_benchmark(family, qubits, seed=seed)
+        for loss in loss_rates:
+            compiler = OnePercCompiler(
+                fusion_success_rate=0.78,
+                resource_state_size=7,
+                rsl_size=rsl_size,
+                virtual_size=virtual,
+                photon_loss_rate=loss,
+                seed=seed,
+                max_rsl=10**5,
+            )
+            config, _ = compiler.hardware_for(qubits)
+            result = compiler.compile(circuit)
+            points.append(
+                LossPoint(
+                    benchmark=f"{family.upper()}{qubits}",
+                    loss_rate=loss,
+                    effective_rate=config.effective_fusion_rate,
+                    rsl_count=result.rsl_count,
+                    pl_ratio=result.pl_ratio,
+                )
+            )
+    return points, render(points)
+
+
+def render(points: list[LossPoint]) -> str:
+    table = TextTable(
+        ["Benchmark", "Loss rate", "Effective fusion rate", "#RSL", "PL ratio"],
+        title="Photon-loss sensitivity (loss scales the fusion rate by (1-l)^2)",
+    )
+    for point in points:
+        table.add_row(
+            point.benchmark,
+            point.loss_rate,
+            f"{point.effective_rate:.3f}",
+            point.rsl_count,
+            f"{point.pl_ratio:.2f}",
+        )
+    return table.render()
+
+
+def effective_rate(loss: float, fusion_rate: float = 0.78) -> float:
+    """Convenience: the (1 - l)^2-scaled rate (used by tests)."""
+    return HardwareConfig(
+        fusion_success_rate=fusion_rate, photon_loss_rate=loss
+    ).effective_fusion_rate

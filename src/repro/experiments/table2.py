@@ -1,0 +1,135 @@
+"""Table 2: OnePerc vs OneQ (#RSL and #fusion) across benchmarks and rates.
+
+The paper's headline result: with a repeat-until-success strategy OneQ only
+functions for tiny programs at hyper-advanced fusion rates; OnePerc compiles
+everything at the practical rate 0.75, with the #RSL advantage growing with
+program size.  OnePerc spends *more* fusions than OneQ on 4-qubit programs
+(the percolation overhead) and wins on both metrics at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.benchmarks import make_benchmark
+from repro.compiler.driver import OnePercCompiler
+from repro.errors import ReproError
+from repro.experiments.common import BenchmarkCase, check_scale
+from repro.utils.tables import TextTable
+
+FAMILIES = ("qaoa", "qft", "rca", "vqe")
+
+#: (fusion rate, qubit counts, #RSL cap, node side) per scale.
+SCALE_SETTINGS = {
+    "bench": [
+        (0.90, (4,), 10**5, 12),
+        (0.75, (4, 9), 10**5, 16),
+    ],
+    "paper": [
+        (0.90, (4, 9, 25), 10**6, 12),
+        (0.75, (4, 25, 64), 10**6, 24),
+    ],
+}
+
+
+@dataclass
+class Table2Row:
+    fusion_rate: float
+    benchmark: str
+    oneq_rsl: int
+    oneq_capped: bool
+    oneperc_rsl: int
+    oneq_fusions: int
+    oneperc_fusions: int
+
+    @property
+    def rsl_improvement(self) -> float:
+        return self.oneq_rsl / max(1, self.oneperc_rsl)
+
+    @property
+    def fusion_improvement(self) -> float:
+        return self.oneq_fusions / max(1, self.oneperc_fusions)
+
+
+def run_case(
+    case: BenchmarkCase,
+    fusion_rate: float,
+    rsl_cap: int,
+    node_side: int,
+    seed: int = 0,
+) -> Table2Row:
+    """One Table 2 cell: compile with OnePerc and with the OneQ baseline."""
+    circuit = make_benchmark(case.family, case.num_qubits, seed=seed)
+    from repro.compiler.driver import virtual_size_for
+
+    compiler = OnePercCompiler(
+        fusion_success_rate=fusion_rate,
+        resource_state_size=4,  # the main experiment's resource states
+        rsl_size=node_side * virtual_size_for(case.num_qubits),
+        seed=seed,
+        max_rsl=rsl_cap,
+    )
+    result = compiler.compile(circuit)
+    baseline = compiler.compile_baseline(circuit)
+    return Table2Row(
+        fusion_rate=fusion_rate,
+        benchmark=case.label,
+        oneq_rsl=baseline.rsl_count,
+        oneq_capped=baseline.capped,
+        oneperc_rsl=result.rsl_count,
+        oneq_fusions=baseline.fusion_count,
+        oneperc_fusions=result.fusion_count,
+    )
+
+
+def run(scale: str = "bench", seed: int = 0) -> tuple[list[Table2Row], str]:
+    """All Table 2 rows for ``scale``; returns (rows, rendered table)."""
+    check_scale(scale)
+    rows: list[Table2Row] = []
+    for fusion_rate, qubit_counts, cap, node_side in SCALE_SETTINGS[scale]:
+        for qubits in qubit_counts:
+            for family in FAMILIES:
+                try:
+                    rows.append(
+                        run_case(
+                            BenchmarkCase(family, qubits),
+                            fusion_rate,
+                            cap,
+                            node_side,
+                            seed=seed,
+                        )
+                    )
+                except ReproError as exc:
+                    raise ReproError(
+                        f"Table 2 cell {family}-{qubits}@{fusion_rate}: {exc}"
+                    ) from exc
+    return rows, render(rows)
+
+
+def render(rows: list[Table2Row]) -> str:
+    table = TextTable(
+        [
+            "Rate",
+            "Benchmark",
+            "OneQ #RSL",
+            "OnePerc #RSL",
+            "#RSL Improv.",
+            "OneQ #Fusion",
+            "OnePerc #Fusion",
+            "#Fusion Improv.",
+        ],
+        title="Table 2: OnePerc vs OneQ (repeat-until-success)",
+    )
+    for row in rows:
+        oneq_rsl = f">{row.oneq_rsl:,}" if row.oneq_capped else f"{row.oneq_rsl:,}"
+        table.add_row(
+            row.fusion_rate,
+            row.benchmark,
+            oneq_rsl,
+            row.oneperc_rsl,
+            f"{row.rsl_improvement:,.2f}",
+            row.oneq_fusions,
+            row.oneperc_fusions,
+            f"{row.fusion_improvement:.3g}",
+        )
+    return table.render()

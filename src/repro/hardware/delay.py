@@ -1,0 +1,105 @@
+"""Delay lines: the machine's temporary quantum memory (Section 2.2).
+
+Optical fiber delay lines store flying photonic qubits for up to
+``photon_lifetime`` RSG cycles (about 5000 at < 5%/km loss).  The virtual
+memory of the FlexLattice IR — ``store_v_node`` / ``retrieve_v_node`` — is
+implemented by pushing a node's surrounding physical qubits into delay lines
+and popping them at the layer where they are needed.
+
+The model tracks per-entry ages so the compiler can detect (and tests can
+assert on) lifetime violations: an IR program whose cross-layer edges span
+more routing layers than the photon lifetime is not executable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+
+
+@dataclass
+class StoredEntry:
+    """One node's photons parked in delay lines."""
+
+    key: Hashable
+    stored_at_cycle: int
+    qubit_count: int
+
+
+class DelayLineBank:
+    """A bank of delay lines with lifetime accounting.
+
+    ``advance()`` moves wall-clock time by one RSG cycle; entries older than
+    the lifetime are reported as expired (photon loss) rather than silently
+    kept, because the reshaping pass must treat them as failed connections.
+    """
+
+    def __init__(self, photon_lifetime: int, capacity: int | None = None) -> None:
+        if photon_lifetime < 1:
+            raise HardwareError("photon lifetime must be >= 1 cycle")
+        if capacity is not None and capacity < 1:
+            raise HardwareError("capacity must be >= 1 when given")
+        self.photon_lifetime = photon_lifetime
+        self.capacity = capacity
+        self.cycle = 0
+        self._entries: dict[Hashable, StoredEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def stored_qubits(self) -> int:
+        """Total photonic qubits currently in the bank."""
+        return sum(entry.qubit_count for entry in self._entries.values())
+
+    def store(self, key: Hashable, qubit_count: int = 1) -> StoredEntry:
+        """Push a node's photons into delay lines."""
+        if key in self._entries:
+            raise HardwareError(f"{key!r} is already stored")
+        if self.capacity is not None and self.stored_qubits + qubit_count > self.capacity:
+            raise HardwareError(
+                f"delay-line capacity {self.capacity} exceeded storing {key!r}"
+            )
+        entry = StoredEntry(key=key, stored_at_cycle=self.cycle, qubit_count=qubit_count)
+        self._entries[key] = entry
+        return entry
+
+    def retrieve(self, key: Hashable) -> StoredEntry:
+        """Pop a node's photons; raises if expired or absent."""
+        try:
+            entry = self._entries.pop(key)
+        except KeyError as exc:
+            raise HardwareError(f"{key!r} is not stored") from exc
+        if self.age(entry) > self.photon_lifetime:
+            raise HardwareError(
+                f"{key!r} exceeded the photon lifetime "
+                f"({self.age(entry)} > {self.photon_lifetime} cycles)"
+            )
+        return entry
+
+    def age(self, entry: StoredEntry) -> int:
+        """Cycles the entry has spent in the bank so far."""
+        return self.cycle - entry.stored_at_cycle
+
+    def advance(self, cycles: int = 1) -> list[StoredEntry]:
+        """Advance time; returns (and drops) entries that just expired."""
+        if cycles < 0:
+            raise HardwareError("cannot advance time backwards")
+        self.cycle += cycles
+        expired = [
+            entry
+            for entry in self._entries.values()
+            if self.age(entry) > self.photon_lifetime
+        ]
+        for entry in expired:
+            del self._entries[entry.key]
+        return expired
+
+    def keys(self) -> list[Hashable]:
+        """Keys currently stored (insertion-ordered)."""
+        return list(self._entries)

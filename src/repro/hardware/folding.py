@@ -1,0 +1,99 @@
+"""RSL extension by spatial/temporal folding (Section 2.2, Fig. 4).
+
+The effective resource state layer is not bounded by the physical RSG array:
+consecutive emission cycles can be *folded* into one large layer by fusing
+the edges of several small RSLs — like folding a sheet of paper — trading
+temporal fusions (and photon storage time) for spatial extent.  With photons
+surviving ~5000 RSG cycles in delay lines, the layer can grow by up to
+5000x.
+
+This module computes the folding plans behind a :class:`HardwareConfig`'s
+``rsl_size``: how many physical cycles one effective layer costs, whether the
+photon lifetime admits it, and the extra edge fusions folding spends.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+
+
+@dataclass(frozen=True)
+class FoldingPlan:
+    """How one effective RSL is assembled from physical emission cycles."""
+
+    physical_side: int  # side of the physical RSG array
+    effective_side: int  # side of the folded, effective RSL
+    tiles_per_side: int  # folding factor along each axis
+    cycles_per_layer: int  # RSG cycles consumed per effective layer
+    seam_fusions: int  # edge fusions that stitch the tiles together
+    oldest_photon_age: int  # cycles the first tile's photons wait
+
+    @property
+    def amplification(self) -> int:
+        """Effective sites per physical site."""
+        return self.tiles_per_side**2
+
+
+def plan_folding(
+    physical_side: int,
+    effective_side: int,
+    photon_lifetime: int = 5000,
+) -> FoldingPlan:
+    """Plan the folding of ``physical_side``-RSGs into an effective layer.
+
+    The effective layer is tiled by ``ceil(effective/physical)^2`` physical
+    RSLs emitted on consecutive cycles; each pair of adjacent tiles is
+    stitched with a seam of edge fusions (one per boundary site).  The first
+    tile's photons must survive until the last tile is emitted, which the
+    photon lifetime must cover.
+    """
+    if physical_side < 1 or effective_side < 1:
+        raise HardwareError("array sides must be positive")
+    if effective_side < physical_side:
+        raise HardwareError(
+            f"effective side {effective_side} below the physical array "
+            f"{physical_side}; folding only enlarges layers"
+        )
+    tiles = math.ceil(effective_side / physical_side)
+    cycles = tiles * tiles
+    oldest = cycles - 1
+    if oldest > photon_lifetime:
+        raise HardwareError(
+            f"folding {tiles}x{tiles} tiles needs photons to wait {oldest} "
+            f"cycles, beyond the lifetime of {photon_lifetime}"
+        )
+    # Seams: (tiles - 1) vertical and horizontal seam lines, each crossing
+    # the full effective side.
+    seam_fusions = 2 * (tiles - 1) * effective_side
+    return FoldingPlan(
+        physical_side=physical_side,
+        effective_side=effective_side,
+        tiles_per_side=tiles,
+        cycles_per_layer=cycles,
+        seam_fusions=seam_fusions,
+        oldest_photon_age=oldest,
+    )
+
+
+def max_effective_side(physical_side: int, photon_lifetime: int = 5000) -> int:
+    """Largest effective RSL side the lifetime admits (Fig. 4's 5000x).
+
+    The binding constraint is ``tiles^2 - 1 <= lifetime``, so the side grows
+    by a factor ``floor(sqrt(lifetime + 1))``.
+    """
+    if physical_side < 1:
+        raise HardwareError("array side must be positive")
+    tiles = int(math.isqrt(photon_lifetime + 1))
+    return physical_side * max(1, tiles)
+
+
+def folding_overhead_fraction(plan: FoldingPlan) -> float:
+    """Seam fusions as a fraction of the layer's in-plane bond fusions."""
+    side = plan.effective_side
+    lattice_bonds = 2 * side * (side - 1)
+    if lattice_bonds == 0:
+        return 0.0
+    return plan.seam_fusions / lattice_bonds

@@ -1,0 +1,37 @@
+"""FlexLattice IR and the intermediate-level instruction set."""
+
+from repro.ir.flexlattice import (
+    ROLE_ANCILLA,
+    ROLE_GRAPH,
+    ROLE_WORLDLINE,
+    FlexLatticeIR,
+    VNode,
+)
+from repro.ir.instructions import (
+    EnableSpatialVEdge,
+    EnableTemporalVEdge,
+    Instruction,
+    InstructionInterpreter,
+    MakeVNodeAncilla,
+    MapVNode,
+    RetrieveVNode,
+    StoreVNode,
+    lower_ir,
+)
+
+__all__ = [
+    "FlexLatticeIR",
+    "VNode",
+    "ROLE_GRAPH",
+    "ROLE_WORLDLINE",
+    "ROLE_ANCILLA",
+    "Instruction",
+    "MapVNode",
+    "MakeVNodeAncilla",
+    "StoreVNode",
+    "RetrieveVNode",
+    "EnableSpatialVEdge",
+    "EnableTemporalVEdge",
+    "lower_ir",
+    "InstructionInterpreter",
+]

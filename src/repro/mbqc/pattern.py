@@ -1,0 +1,120 @@
+"""Measurement patterns: the MBQC form of a program.
+
+A measurement pattern is a program graph state plus, for every non-output
+node, an equatorial measurement angle and a *flow* successor (the node that
+inherits the wire after the measurement).  Outcome-dependent corrections
+follow the standard flow rule: measuring ``i`` with outcome 1 applies ``X``
+on ``f(i)`` and ``Z`` on every other neighbour of ``f(i)`` — the real-time
+feed-forward of Section 2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TranslationError
+from repro.graphstate.graph import GraphState
+
+
+@dataclass
+class PatternNode:
+    """One qubit of the program graph state.
+
+    ``angle`` is the ``J`` parameter whose gadget measures this node (the
+    measurement basis has ket phase ``exp(-i angle)``); ``None`` marks an
+    output node, which is not measured by the pattern.
+    """
+
+    node_id: int
+    wire: int
+    angle: float | None = None
+    successor: int | None = None
+
+    @property
+    def is_output(self) -> bool:
+        return self.angle is None
+
+
+@dataclass
+class MeasurementPattern:
+    """A program graph state with measurement/flow annotations."""
+
+    graph: GraphState
+    nodes: dict[int, PatternNode]
+    inputs: list[int]
+    outputs: list[int]
+    name: str = "pattern"
+    _order_cache: list[int] | None = field(default=None, repr=False)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def measured_count(self) -> int:
+        return sum(1 for node in self.nodes.values() if not node.is_output)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`TranslationError`."""
+        graph_nodes = set(self.graph.nodes())
+        if graph_nodes != set(self.nodes):
+            raise TranslationError("pattern nodes and graph nodes disagree")
+        if len(self.inputs) != len(self.outputs):
+            raise TranslationError("pattern must have one output per input wire")
+        for node_id, node in self.nodes.items():
+            if node.node_id != node_id:
+                raise TranslationError(f"node {node_id} has mismatched id")
+            if node.is_output:
+                if node.successor is not None:
+                    raise TranslationError(f"output node {node_id} has a successor")
+                if node_id not in self.outputs:
+                    raise TranslationError(f"unmeasured node {node_id} not an output")
+            else:
+                if node.successor is None:
+                    raise TranslationError(f"measured node {node_id} lacks a successor")
+                if not self.graph.has_edge(node_id, node.successor):
+                    raise TranslationError(
+                        f"flow edge {node_id} -> {node.successor} missing in graph"
+                    )
+
+    def flow_order(self) -> list[int]:
+        """A measurement order compatible with the flow conditions.
+
+        The flow theorem requires ``i`` to be measured before ``f(i)`` and
+        before every other neighbour of ``f(i)`` (otherwise a correction
+        would target an already-measured qubit).  Returns a topological order
+        of the non-output nodes under those constraints.
+        """
+        if self._order_cache is not None:
+            return list(self._order_cache)
+        successors_of: dict[int, list[int]] = {node_id: [] for node_id in self.nodes}
+        indegree = {node_id: 0 for node_id in self.nodes}
+        for node_id, node in self.nodes.items():
+            if node.is_output:
+                continue
+            constraints = {node.successor}
+            constraints.update(
+                neighbor
+                for neighbor in self.graph.neighbors(node.successor)
+                if neighbor != node_id
+            )
+            for later in constraints:
+                successors_of[node_id].append(later)
+                indegree[later] += 1
+        ready = sorted(node_id for node_id, count in indegree.items() if count == 0)
+        order: list[int] = []
+        while ready:
+            current = ready.pop(0)
+            if not self.nodes[current].is_output:
+                order.append(current)
+            for later in successors_of[current]:
+                indegree[later] -= 1
+                if indegree[later] == 0:
+                    ready.append(later)
+            ready.sort()
+        if len(order) != self.measured_count:
+            raise TranslationError(
+                "pattern has no causal flow order (dependency cycle)"
+            )
+        self._order_cache = order
+        return list(order)

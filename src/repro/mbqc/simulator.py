@@ -1,0 +1,199 @@
+"""Dense MBQC execution with feed-forward (validation oracle).
+
+Runs a measurement pattern the way the hardware would: activate graph-state
+qubits lazily, measure them in a flow-compatible order in equatorial bases,
+and apply the outcome-dependent ``X``/``Z`` corrections of the flow theorem.
+The test-suite checks that this reproduces the original circuit's statevector
+for random outcomes — validating the translation *and* the feed-forward rules
+the online pass relies on.
+
+This simulator is exponential in the active width and exists only for
+validation; the compiler never simulates amplitudes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import TranslationError
+from repro.mbqc.pattern import MeasurementPattern
+from repro.utils.rng import ensure_rng
+
+_SQRT1_2 = 1 / math.sqrt(2)
+
+#: Cap on simultaneously-active qubits (dense state of 2^width amplitudes).
+MAX_ACTIVE_WIDTH = 16
+
+
+class _ActiveState:
+    """Dense state over a dynamic set of active graph nodes."""
+
+    def __init__(self) -> None:
+        self.order: list[int] = []  # node ids, axis order of the tensor
+        self.state = np.ones(1, dtype=complex)
+
+    @property
+    def width(self) -> int:
+        return len(self.order)
+
+    def axis(self, node: int) -> int:
+        return self.order.index(node)
+
+    def add_plus(self, node: int) -> None:
+        if self.width + 1 > MAX_ACTIVE_WIDTH:
+            raise TranslationError(
+                f"active width exceeded {MAX_ACTIVE_WIDTH}; pattern too wide "
+                "for dense validation"
+            )
+        plus = np.array([_SQRT1_2, _SQRT1_2], dtype=complex)
+        self.state = np.kron(self.state, plus)
+        self.order.append(node)
+
+    def add_register(self, nodes: list[int], register_state: np.ndarray) -> None:
+        if self.width + len(nodes) > MAX_ACTIVE_WIDTH:
+            raise TranslationError("active width exceeded in register injection")
+        self.state = np.kron(self.state, register_state.astype(complex))
+        self.order.extend(nodes)
+
+    def _reshape(self) -> np.ndarray:
+        return self.state.reshape([2] * self.width)
+
+    def apply_cz(self, node_a: int, node_b: int) -> None:
+        tensor = self._reshape()
+        index_a, index_b = self.axis(node_a), self.axis(node_b)
+        slicer = [slice(None)] * self.width
+        slicer[index_a] = 1
+        slicer[index_b] = 1
+        tensor[tuple(slicer)] *= -1
+        self.state = tensor.reshape(-1)
+
+    def apply_pauli(self, node: int, x_bit: int, z_bit: int) -> None:
+        if not (x_bit or z_bit):
+            return
+        tensor = np.moveaxis(self._reshape(), self.axis(node), 0)
+        if x_bit:
+            tensor = tensor[::-1].copy()
+        if z_bit:
+            tensor[1] *= -1
+        self.state = np.moveaxis(tensor, 0, self.axis(node)).reshape(-1)
+
+    def measure_equatorial(self, node: int, angle: float, rng, postselect=None) -> int:
+        """Measure ``node`` in basis ``(|0> +/- e^{i angle}|1>)/sqrt(2)``.
+
+        Removes the qubit; returns the outcome bit.
+        """
+        tensor = np.moveaxis(self._reshape(), self.axis(node), 0)
+        phase = np.exp(-1j * angle)  # bra phase for outcome 0
+        branch0 = (tensor[0] + phase * tensor[1]) * _SQRT1_2
+        branch1 = (tensor[0] - phase * tensor[1]) * _SQRT1_2
+        p0 = float(np.sum(np.abs(branch0) ** 2))
+        p1 = float(np.sum(np.abs(branch1) ** 2))
+        total = p0 + p1
+        if postselect is not None:
+            outcome = int(postselect)
+        else:
+            outcome = int(rng.random() * total >= p0)
+        chosen = branch1 if outcome else branch0
+        norm = math.sqrt(p1 if outcome else p0)
+        if norm < 1e-12:
+            raise TranslationError(f"measured a zero-probability branch on {node}")
+        self.order.remove(node)
+        self.state = (chosen / norm).reshape(-1)
+        return outcome
+
+    def extract(self, nodes: list[int]) -> np.ndarray:
+        """The state re-ordered so ``nodes`` are the (only) axes, in order."""
+        if set(nodes) != set(self.order):
+            raise TranslationError("extract() must cover exactly the active nodes")
+        tensor = self._reshape()
+        permutation = [self.axis(node) for node in nodes]
+        return np.transpose(tensor, permutation).reshape(-1)
+
+
+def run_pattern(
+    pattern: MeasurementPattern,
+    input_state: np.ndarray | None = None,
+    rng=None,
+    postselect_zeros: bool = False,
+) -> tuple[np.ndarray, dict[int, int]]:
+    """Execute ``pattern``; returns (output statevector, measurement outcomes).
+
+    ``input_state`` is the joint state of the input wires (default
+    ``|+...+>``, matching bare graph-state preparation).  The output vector is
+    over the output nodes in wire order.  With ``postselect_zeros`` every
+    outcome is forced to 0 (the correction-free branch).
+    """
+    rng = ensure_rng(rng)
+    graph = pattern.graph
+    state = _ActiveState()
+    pending: dict[int, list[int]] = {}  # node -> [x_bit, z_bit]
+    activated: set[int] = set()
+    edges_done: set[frozenset[int]] = set()
+
+    def pauli_frame(node: int) -> list[int]:
+        return pending.setdefault(node, [0, 0])
+
+    def activate(node: int) -> None:
+        if node in activated:
+            return
+        state.add_plus(node)
+        activated.add(node)
+        _link(node)
+
+    def _link(node: int) -> None:
+        for neighbor in graph.neighbors(node):
+            if neighbor in activated:
+                key = frozenset((node, neighbor))
+                if key not in edges_done:
+                    state.apply_cz(node, neighbor)
+                    edges_done.add(key)
+
+    # Inject the input register jointly (inputs may be mutually entangled).
+    if input_state is None:
+        for node in pattern.inputs:
+            activate(node)
+    else:
+        dimension = 2 ** len(pattern.inputs)
+        vector = np.asarray(input_state, dtype=complex)
+        if vector.shape != (dimension,):
+            raise TranslationError(
+                f"input state must have shape ({dimension},), got {vector.shape}"
+            )
+        state.add_register(list(pattern.inputs), vector)
+        activated.update(pattern.inputs)
+        for node in pattern.inputs:
+            _link(node)
+
+    outcomes: dict[int, int] = {}
+    for node_id in pattern.flow_order():
+        node = pattern.nodes[node_id]
+        activate(node_id)
+        for neighbor in graph.neighbors(node_id):
+            activate(neighbor)
+        frame = pending.pop(node_id, [0, 0])
+        state.apply_pauli(node_id, frame[0], frame[1])
+        outcome = state.measure_equatorial(
+            node_id,
+            -node.angle,  # J(alpha) gadget measures at -alpha
+            rng,
+            postselect=0 if postselect_zeros else None,
+        )
+        outcomes[node_id] = outcome
+        if outcome:
+            successor = node.successor
+            pauli_frame(successor)[0] ^= 1
+            for neighbor in graph.neighbors(successor):
+                if neighbor != node_id:
+                    pauli_frame(neighbor)[1] ^= 1
+
+    for node in pattern.outputs:
+        activate(node)
+    for node in pattern.outputs:
+        frame = pending.pop(node, [0, 0])
+        state.apply_pauli(node, frame[0], frame[1])
+    leftovers = [node for node, frame in pending.items() if frame != [0, 0]]
+    if leftovers:
+        raise TranslationError(f"corrections left on measured nodes: {leftovers}")
+    return state.extract(list(pattern.outputs)), outcomes

@@ -1,0 +1,18 @@
+"""Offline pass: virtual-hardware mapping, routing, refresh, memory model."""
+
+from repro.offline.mapper import (
+    DEFAULT_BYTES_PER_NODE_LAYER,
+    MappingResult,
+    MemoryEntry,
+    OfflineMapper,
+)
+from repro.offline.routing import LayerGrid, route
+
+__all__ = [
+    "OfflineMapper",
+    "MappingResult",
+    "MemoryEntry",
+    "DEFAULT_BYTES_PER_NODE_LAYER",
+    "LayerGrid",
+    "route",
+]

@@ -1,0 +1,86 @@
+"""In-layer routing on the virtual hardware grid.
+
+Spatial edges of the FlexLattice IR join 4-adjacent nodes, so connecting two
+arbitrary cells on a layer lays down a wire of ancilla nodes between them
+(measured in X/Y depending on parity, per Section 6.3).  The router is a
+plain BFS over free cells — the optimization-relevant behaviour is *which*
+cells are free, which the mapper controls.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.utils.gridgeom import Coord2D, grid_neighbors4
+
+
+class LayerGrid:
+    """Occupancy of one virtual-hardware layer."""
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self.cells: dict[Coord2D, object] = {}
+
+    def is_free(self, cell: Coord2D) -> bool:
+        return cell not in self.cells
+
+    def occupy(self, cell: Coord2D, owner: object) -> None:
+        if cell in self.cells:
+            raise ValueError(f"cell {cell} already occupied by {self.cells[cell]!r}")
+        self.cells[cell] = owner
+
+    def release(self, cell: Coord2D) -> None:
+        self.cells.pop(cell, None)
+
+    def free_cells(self) -> list[Coord2D]:
+        return [
+            (row, col)
+            for row in range(self.width)
+            for col in range(self.width)
+            if (row, col) not in self.cells
+        ]
+
+    def nearest_free(self, anchors: list[Coord2D]) -> Coord2D | None:
+        """The free cell minimizing total Manhattan distance to ``anchors``.
+
+        With no anchors, returns the first free cell in row-major order.
+        """
+        best: Coord2D | None = None
+        best_cost = None
+        for cell in self.free_cells():
+            if not anchors:
+                return cell
+            cost = sum(abs(cell[0] - a[0]) + abs(cell[1] - a[1]) for a in anchors)
+            if best_cost is None or cost < best_cost:
+                best, best_cost = cell, cost
+        return best
+
+
+def route(grid: LayerGrid, start: Coord2D, goal: Coord2D) -> list[Coord2D] | None:
+    """Shortest wire of *free* cells connecting ``start`` and ``goal``.
+
+    ``start`` and ``goal`` are occupied endpoints (the nodes being joined);
+    the returned list contains only the intermediate free cells, which the
+    caller turns into ancillas.  Returns ``[]`` if the endpoints are already
+    adjacent, ``None`` if no route exists.
+    """
+    if abs(start[0] - goal[0]) + abs(start[1] - goal[1]) == 1:
+        return []
+    parents: dict[Coord2D, Coord2D] = {}
+    seen = {start}
+    queue: deque[Coord2D] = deque([start])
+    while queue:
+        current = queue.popleft()
+        for neighbor in grid_neighbors4(current, grid.width):
+            if neighbor == goal and current != start:
+                path = [current]
+                while path[-1] != start:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path[1:] if path and path[0] == start else path
+            if neighbor in seen or not grid.is_free(neighbor):
+                continue
+            seen.add(neighbor)
+            parents[neighbor] = current
+            queue.append(neighbor)
+    return None

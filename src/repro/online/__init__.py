@@ -1,0 +1,78 @@
+"""Online passes: fusion strategy, percolation, renormalization, reshaping."""
+
+from repro.online.percolation import (
+    PercolatedLattice,
+    sample_lattice,
+    spanning_probability,
+)
+from repro.online.renormalize import RenormalizationResult, renormalize
+from repro.online.modular import (
+    ModularLayout,
+    ModularResult,
+    modular_renormalize,
+)
+from repro.online.fusion_strategy import (
+    LayerFormation,
+    TEMPORAL_RESERVE,
+    effective_bond_probability,
+    form_layer,
+)
+from repro.online.timelike import (
+    LayerDemand,
+    OnlineReshaper,
+    ReshapeMetrics,
+    TEMPORAL_FANOUT,
+)
+from repro.online.lattice3d import (
+    CUBIC_BOND_THRESHOLD,
+    Percolated3D,
+    sample_lattice3d,
+    spanning_probability_3d,
+)
+from repro.online.exact_layer import (
+    ExactLayer,
+    ExactSite,
+    bond_consistency,
+    build_exact_layer,
+)
+from repro.online.autotune import (
+    NodeSizeChoice,
+    choose_node_side,
+    estimate_success,
+    rsl_size_for_virtual,
+    saturation_point,
+    success_curve,
+)
+
+__all__ = [
+    "PercolatedLattice",
+    "sample_lattice",
+    "spanning_probability",
+    "RenormalizationResult",
+    "renormalize",
+    "ModularLayout",
+    "ModularResult",
+    "modular_renormalize",
+    "LayerFormation",
+    "TEMPORAL_RESERVE",
+    "effective_bond_probability",
+    "form_layer",
+    "LayerDemand",
+    "OnlineReshaper",
+    "ReshapeMetrics",
+    "TEMPORAL_FANOUT",
+    "NodeSizeChoice",
+    "choose_node_side",
+    "estimate_success",
+    "rsl_size_for_virtual",
+    "success_curve",
+    "saturation_point",
+    "Percolated3D",
+    "sample_lattice3d",
+    "spanning_probability_3d",
+    "CUBIC_BOND_THRESHOLD",
+    "ExactLayer",
+    "ExactSite",
+    "build_exact_layer",
+    "bond_consistency",
+]

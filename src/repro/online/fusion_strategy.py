@@ -1,0 +1,136 @@
+"""Semi-static fusion strategy: resource states -> percolated layer (Section 4).
+
+The strategy is *static* in that the fusion pattern is fixed independently of
+the program: every site merges ``m`` stars into a high-degree star (root-leaf
+fusions, Fig. 7(c)), then leaf-leaf fuses with its four in-layer neighbours
+(Fig. 7(a)) while reserving two leaves for temporal bonds.  It is *semi*-
+static in that failed connections are collectively retried with whatever
+redundant degrees remain (Section 4.3), a batch mechanism with constant
+pipeline overhead.
+
+The output is the :class:`~repro.online.percolation.PercolatedLattice` the
+renormalization pass consumes, plus exact fusion accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.architecture import HardwareConfig, LATTICE_DEGREE_2D
+from repro.hardware.fusion import FusionDevice
+from repro.hardware.rsg import RSGArray
+from repro.online.percolation import PercolatedLattice
+
+#: Leaves each site reserves for temporal (inter-layer) bonds.
+TEMPORAL_RESERVE = 2
+
+
+@dataclass
+class LayerFormation:
+    """A formed layer: the percolated lattice plus its resource accounting."""
+
+    lattice: PercolatedLattice
+    rsls_used: int
+    merge_fusions: int
+    spatial_fusions: int
+    spatial_retries: int
+    temporal_budget: np.ndarray  # int (N, N): leaves left for temporal bonds
+
+    @property
+    def fusions(self) -> int:
+        return self.merge_fusions + self.spatial_fusions
+
+
+def _attempt_bonds_with_retry(
+    device: FusionDevice,
+    redundancy: np.ndarray,
+    endpoint_a: tuple[slice, slice],
+    endpoint_b: tuple[slice, slice],
+    shape: tuple[int, int],
+) -> tuple[np.ndarray, int, int]:
+    """One batch of leaf-leaf bonds plus a collective retry round.
+
+    ``endpoint_a``/``endpoint_b`` slice the site-indexed ``redundancy`` array
+    down to the two endpoint grids of the bond array (shape ``shape``).
+    Failed bonds retry once where *both* endpoints still hold a redundant
+    leaf, consuming one from each.  Returns (bond outcomes, attempts, retries).
+    """
+    outcomes = device.attempt_grid(shape, "leaf-leaf")
+    attempts = int(np.prod(shape))
+    red_a = redundancy[endpoint_a]
+    red_b = redundancy[endpoint_b]
+    retry_mask = (~outcomes) & (red_a >= 1) & (red_b >= 1)
+    retries = int(retry_mask.sum())
+    if retries:
+        red_a[retry_mask] -= 1
+        red_b[retry_mask] -= 1
+        second = device.attempt_batch(retries, "leaf-leaf")
+        outcomes[retry_mask] = second
+        attempts += retries
+    return outcomes, attempts, retries
+
+
+def form_layer(config: HardwareConfig, device: FusionDevice) -> LayerFormation:
+    """Form one percolated layer from ``merged_rsls_per_layer`` fresh RSLs.
+
+    Dead sites (whose root was lost during merging) contribute no bonds; all
+    surviving sites spend four leaves on spatial bonds, reserve
+    ``TEMPORAL_RESERVE`` for temporal bonds, and use anything beyond that as
+    the collective-retry budget.
+    """
+    n = config.rsl_size
+    array = RSGArray(config)
+    merge = array.merge_layers(device)
+
+    # Redundancy per site: leaves beyond the 4 spatial + 2 temporal demand.
+    redundancy = merge.degrees - (LATTICE_DEGREE_2D + TEMPORAL_RESERVE)
+    redundancy = np.clip(redundancy, 0, None)
+    redundancy[~merge.alive] = 0
+
+    horizontal, h_attempts, h_retries = _attempt_bonds_with_retry(
+        device,
+        redundancy,
+        (slice(None), slice(0, n - 1)),
+        (slice(None), slice(1, n)),
+        (n, n - 1),
+    )
+    vertical, v_attempts, v_retries = _attempt_bonds_with_retry(
+        device,
+        redundancy,
+        (slice(0, n - 1), slice(None)),
+        (slice(1, n), slice(None)),
+        (n - 1, n),
+    )
+
+    lattice = PercolatedLattice(
+        sites=merge.alive.copy(),
+        horizontal=horizontal,
+        vertical=vertical,
+    )
+    temporal_budget = np.full((n, n), TEMPORAL_RESERVE, dtype=np.int64)
+    temporal_budget += redundancy  # unspent retries remain usable temporally
+    temporal_budget[~merge.alive] = 0
+    return LayerFormation(
+        lattice=lattice,
+        rsls_used=config.merged_rsls_per_layer,
+        merge_fusions=merge.merge_fusions,
+        spatial_fusions=h_attempts + v_attempts,
+        spatial_retries=h_retries + v_retries,
+        temporal_budget=temporal_budget,
+    )
+
+
+def effective_bond_probability(config: HardwareConfig) -> float:
+    """Closed-form bond success probability after one collective retry.
+
+    With success rate ``p`` and a redundant leaf on both sides, a bond opens
+    with probability ``1 - (1 - p)^2``; with no redundancy it is just ``p``.
+    Used by tests to cross-check the sampled grids and by the analytical
+    planner in the baseline comparison.
+    """
+    p = config.effective_fusion_rate
+    if config.redundant_degree >= 1:
+        return 1.0 - (1.0 - p) ** 2
+    return p

@@ -1,0 +1,365 @@
+"""2D renormalization: carving a regular coarse lattice out of a random one.
+
+Section 5.1: on each (merged) RSL the largest connected component of the
+percolated lattice is reshaped into a coarse-grained ``k x k`` square lattice
+by finding ``k`` vertical top-bottom paths (searched left to right) and ``k``
+horizontal left-right paths (searched bottom to top), alternating the two
+orientations.  Path intersections become the renormalized (logical) nodes;
+every other qubit is measured out in Z.
+
+Two mechanics from the paper:
+
+* **connectivity check before search** — a disjoint-set pass answers "is
+  there any path at all?" cheaply before the BFS runs (negative checks are
+  the common case near threshold);
+* **tangling prevention** — distinct same-orientation paths must stay
+  disjoint, and a path may touch a perpendicular path only by crossing it
+  straight through (the crossing site becoming a renormalized node).  The
+  artifact implements this by deleting each path's surrounding qubits; we
+  get the same guarantee structurally, by confining each vertical path to
+  its own column strip (and each horizontal path to its own row band) and by
+  restricting perpendicular contact to straight crossings.  DESIGN.md
+  records this substitution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import RenormalizationError
+from repro.online.percolation import PercolatedLattice
+from repro.utils.gridgeom import Coord2D
+
+#: Marker values for the orientation ownership grid.
+_FREE, _VERTICAL, _HORIZONTAL, _DEAD = 0, 1, 2, 3
+
+
+@dataclass
+class RenormalizationResult:
+    """Outcome of one 2D renormalization attempt."""
+
+    success: bool
+    target_size: int
+    lattice_size: int  # achieved size (== target_size on success)
+    node_sites: dict[tuple[int, int], Coord2D] = field(default_factory=dict)
+    vertical_paths: list[list[Coord2D]] = field(default_factory=list)
+    horizontal_paths: list[list[Coord2D]] = field(default_factory=list)
+    visited_sites: int = 0  # BFS + DSU work, the Fig. 14 cost proxy
+
+    @property
+    def average_node_size(self) -> float:
+        """``RSL_size / renormalized_lattice_size`` (paper's definition)."""
+        if not self.vertical_paths:
+            return float("nan")
+        rsl = max(len(path) for path in self.vertical_paths)
+        return rsl / max(1, self.lattice_size)
+
+
+class _Carver:
+    """Stateful path search over one percolated lattice."""
+
+    def __init__(self, lattice: PercolatedLattice) -> None:
+        self.lattice = lattice
+        self.size = lattice.size
+        self.owner = np.full((self.size, self.size), _FREE, dtype=np.uint8)
+        self.owner[~lattice.sites] = _DEAD
+        self.visited_sites = 0
+
+    # -- generic helpers --------------------------------------------------
+
+    def _bond(self, a: Coord2D, b: Coord2D) -> bool:
+        return self.lattice.has_bond(a, b)
+
+    def _free(self, coord: Coord2D) -> bool:
+        return self.owner[coord] == _FREE
+
+    def _strip_range(self, index: int, count: int) -> tuple[int, int]:
+        """Half-open coordinate range of strip/band ``index`` of ``count``."""
+        low = (index * self.size) // count
+        high = ((index + 1) * self.size) // count
+        return low, high
+
+    # -- connectivity pre-check (disjoint-set, Section 5.1) ----------------
+
+    def _strip_connected(self, vertical: bool, low: int, high: int) -> bool:
+        """DSU check: do the strip's two far edges touch at all?
+
+        Runs on the relaxed graph that ignores crossing constraints, so a
+        negative answer is definitive while a positive one still needs BFS.
+        Uses a flat-index union-find (this check runs for every strip of
+        every RSL, so constant factors matter).
+        """
+        n = self.size
+        width = high - low
+        total = n * width
+        parent = list(range(total))
+        self.visited_sites += total
+
+        def find(node: int) -> int:
+            root = node
+            while parent[root] != root:
+                root = parent[root]
+            while parent[node] != root:
+                parent[node], node = root, parent[node]
+            return root
+
+        def flat(a: int, b: int) -> int:
+            # a runs along the spanning axis, b across the strip width.
+            return a * width + (b - low)
+
+        dead = self.owner == _DEAD
+        for a in range(n):
+            for b in range(low, high):
+                coord = (a, b) if vertical else (b, a)
+                if dead[coord]:
+                    continue
+                here = flat(a, b)
+                if a > 0:
+                    back = (a - 1, b) if vertical else (b, a - 1)
+                    if not dead[back] and self._bond(coord, back):
+                        ra, rb = find(here), find(flat(a - 1, b))
+                        if ra != rb:
+                            parent[ra] = rb
+                if b > low:
+                    side = (a, b - 1) if vertical else (b - 1, a)
+                    if not dead[side] and self._bond(coord, side):
+                        ra, rb = find(here), find(flat(a, b - 1))
+                        if ra != rb:
+                            parent[ra] = rb
+        first_roots = {
+            find(flat(0, b))
+            for b in range(low, high)
+            if not dead[(0, b) if vertical else (b, 0)]
+        }
+        return any(
+            find(flat(n - 1, b)) in first_roots
+            for b in range(low, high)
+            if not dead[(n - 1, b) if vertical else (b, n - 1)]
+        )
+
+    def _alive(self, coord: Coord2D) -> bool:
+        row, col = coord
+        if not (0 <= row < self.size and 0 <= col < self.size):
+            return False
+        return self.owner[coord] != _DEAD
+
+    # -- BFS path search ----------------------------------------------------
+
+    def find_path(self, vertical: bool, index: int, count: int) -> list[Coord2D] | None:
+        """Shortest spanning path for strip/band ``index`` (None if blocked).
+
+        A vertical path may step on horizontal-path sites only by crossing
+        them straight through (and vice versa); it may never travel along
+        them, which is the tangling the surround-removal of the paper
+        prevents.
+        """
+        low, high = self._strip_range(index, count)
+        if high - low < 1:
+            raise RenormalizationError("strip is empty; target size too large")
+        if not self._strip_connected(vertical, low, high):
+            return None
+
+        other_owner = _HORIZONTAL if vertical else _VERTICAL
+        n = self.size
+
+        def in_strip(coord: Coord2D) -> bool:
+            lane = coord[1] if vertical else coord[0]
+            return low <= lane < high
+
+        goal_axis = n - 1
+
+        def axis_of(coord: Coord2D) -> int:
+            return coord[0] if vertical else coord[1]
+
+        def in_bounds_cell(coord: Coord2D, size: int) -> bool:
+            return 0 <= coord[0] < size and 0 <= coord[1] < size
+
+        def moves(coord: Coord2D):
+            row, col = coord
+            for drow, dcol in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                step = (row + drow, col + dcol)
+                if not (0 <= step[0] < n and 0 <= step[1] < n):
+                    continue
+                if not in_strip(step):
+                    continue
+                if not self._bond(coord, step):
+                    continue
+                if self._free(step):
+                    yield step, (step,)
+                elif self.owner[step] == other_owner:
+                    if axis_of(step) == goal_axis:
+                        # Crossing right at the far edge: the perpendicular
+                        # path's site serves as the endpoint.
+                        yield step, (step,)
+                        continue
+                    # Cross the perpendicular path straight through.
+                    landing = (step[0] + drow, step[1] + dcol)
+                    if (
+                        0 <= landing[0] < n
+                        and 0 <= landing[1] < n
+                        and in_strip(landing)
+                        and self._free(landing)
+                        and self._bond(step, landing)
+                    ):
+                        yield landing, (step, landing)
+
+        # Start cells on the near edge: free cells start normally; cells
+        # owned by a perpendicular path are entered as crossings (step
+        # straight in, or end immediately on a 1-wide lattice).
+        parent: dict[Coord2D, tuple[Coord2D, tuple[Coord2D, ...]]] = {}
+        queue: deque[Coord2D] = deque()
+        seen: set[Coord2D] = set()
+        for lane in range(low, high):
+            cell = (0, lane) if vertical else (lane, 0)
+            if self._free(cell):
+                seen.add(cell)
+                queue.append(cell)
+            elif self.owner[cell] == other_owner:
+                if goal_axis == 0:
+                    # Degenerate 1-wide lattice: the crossing site alone
+                    # spans it.
+                    return [cell]
+                inward = (1, lane) if vertical else (lane, 1)
+                if (
+                    in_bounds_cell(inward, n)
+                    and in_strip(inward)
+                    and self._free(inward)
+                    and self._bond(cell, inward)
+                    and inward not in seen
+                ):
+                    seen.add(inward)
+                    parent[inward] = (cell, (inward,))
+                    seen.add(cell)
+                    queue.append(inward)
+        goal: Coord2D | None = None
+        while queue:
+            current = queue.popleft()
+            self.visited_sites += 1
+            if axis_of(current) == goal_axis:
+                goal = current
+                break
+            for landing, hops in moves(current):
+                if landing not in seen:
+                    seen.add(landing)
+                    parent[landing] = (current, hops)
+                    queue.append(landing)
+        if goal is None:
+            return None
+
+        # Reconstruct, including crossing sites, root to goal.
+        path: list[Coord2D] = [goal]
+        node = goal
+        while node in parent:
+            previous, hops = parent[node]
+            for hop in reversed(hops[:-1]):
+                path.append(hop)
+            path.append(previous)
+            node = previous
+        path.reverse()
+        return path
+
+    def claim(self, path: list[Coord2D], vertical: bool) -> None:
+        """Mark a found path's sites with their orientation ownership.
+
+        Crossing sites (already owned by the perpendicular orientation) keep
+        their original owner — they are exactly the renormalized nodes.
+        """
+        marker = _VERTICAL if vertical else _HORIZONTAL
+        for coord in path:
+            if self.owner[coord] == _FREE:
+                self.owner[coord] = marker
+
+
+def renormalize(
+    lattice: PercolatedLattice,
+    target_size: int,
+    work_budget: int | None = None,
+) -> RenormalizationResult:
+    """Reshape ``lattice`` into a ``target_size x target_size`` coarse lattice.
+
+    Searches vertical and horizontal spanning paths alternately (the paper's
+    effective order) and reports success only if all ``2 * target_size``
+    paths exist — in which case every pair crosses and the intersection grid
+    is complete.
+
+    ``work_budget`` caps the visited-site count, modelling the photon
+    lifetime limit on real-time processing (Fig. 13(c)'s time-restricted
+    non-modular baseline): when exceeded, the partial result so far is
+    returned as a failure.
+    """
+    if target_size < 1:
+        raise RenormalizationError(f"target size must be >= 1, got {target_size}")
+    if target_size > lattice.size:
+        raise RenormalizationError(
+            f"target {target_size} exceeds lattice size {lattice.size}"
+        )
+    carver = _Carver(lattice)
+    vertical_paths: list[list[Coord2D]] = []
+    horizontal_paths: list[list[Coord2D]] = []
+
+    for index in range(target_size):
+        for vertical in (True, False):
+            if work_budget is not None and carver.visited_sites > work_budget:
+                achieved = min(len(vertical_paths), len(horizontal_paths))
+                return RenormalizationResult(
+                    success=False,
+                    target_size=target_size,
+                    lattice_size=achieved,
+                    vertical_paths=vertical_paths,
+                    horizontal_paths=horizontal_paths,
+                    visited_sites=carver.visited_sites,
+                )
+            path = carver.find_path(vertical, index, target_size)
+            if path is None:
+                achieved = min(len(vertical_paths), len(horizontal_paths))
+                return RenormalizationResult(
+                    success=False,
+                    target_size=target_size,
+                    lattice_size=achieved,
+                    vertical_paths=vertical_paths,
+                    horizontal_paths=horizontal_paths,
+                    visited_sites=carver.visited_sites,
+                )
+            carver.claim(path, vertical)
+            (vertical_paths if vertical else horizontal_paths).append(path)
+
+    node_sites = _intersections(vertical_paths, horizontal_paths)
+    if len(node_sites) < target_size * target_size:
+        achieved = int(len(node_sites) ** 0.5)
+        return RenormalizationResult(
+            success=False,
+            target_size=target_size,
+            lattice_size=achieved,
+            node_sites=node_sites,
+            vertical_paths=vertical_paths,
+            horizontal_paths=horizontal_paths,
+            visited_sites=carver.visited_sites,
+        )
+    return RenormalizationResult(
+        success=True,
+        target_size=target_size,
+        lattice_size=target_size,
+        node_sites=node_sites,
+        vertical_paths=vertical_paths,
+        horizontal_paths=horizontal_paths,
+        visited_sites=carver.visited_sites,
+    )
+
+
+def _intersections(
+    vertical_paths: list[list[Coord2D]],
+    horizontal_paths: list[list[Coord2D]],
+) -> dict[tuple[int, int], Coord2D]:
+    """First shared site of each (vertical, horizontal) path pair."""
+    nodes: dict[tuple[int, int], Coord2D] = {}
+    vertical_sets = [set(path) for path in vertical_paths]
+    for h_index, h_path in enumerate(horizontal_paths):
+        for v_index, v_sites in enumerate(vertical_sets):
+            for coord in h_path:
+                if coord in v_sites:
+                    nodes[(v_index, h_index)] = coord
+                    break
+    return nodes

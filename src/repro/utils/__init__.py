@@ -1,0 +1,27 @@
+"""Shared foundations: disjoint sets, RNG streams, grid geometry, tables."""
+
+from repro.utils.dsu import DisjointSet
+from repro.utils.rng import RandomStream, derive_seed, ensure_rng
+from repro.utils.gridgeom import (
+    Coord2D,
+    Coord3D,
+    grid_neighbors4,
+    grid_neighbors8,
+    in_bounds,
+    manhattan,
+)
+from repro.utils.tables import TextTable
+
+__all__ = [
+    "DisjointSet",
+    "RandomStream",
+    "derive_seed",
+    "ensure_rng",
+    "Coord2D",
+    "Coord3D",
+    "grid_neighbors4",
+    "grid_neighbors8",
+    "in_bounds",
+    "manhattan",
+    "TextTable",
+]

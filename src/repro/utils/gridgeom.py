@@ -1,0 +1,63 @@
+"""Small geometry helpers for 2D resource state layers and (2+1)-D lattices.
+
+Coordinates follow the paper's convention: an RSL is an ``N x N`` grid indexed
+by ``(row, col)``; the third coordinate, when present, is the layer index
+along the time dimension.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+Coord2D = tuple[int, int]
+Coord3D = tuple[int, int, int]
+
+#: 4-neighbourhood offsets (up, down, left, right).
+OFFSETS4: tuple[Coord2D, ...] = ((-1, 0), (1, 0), (0, -1), (0, 1))
+
+#: 8-neighbourhood offsets (4-neighbourhood plus diagonals).
+OFFSETS8: tuple[Coord2D, ...] = OFFSETS4 + ((-1, -1), (-1, 1), (1, -1), (1, 1))
+
+
+def in_bounds(coord: Coord2D, rows: int, cols: int | None = None) -> bool:
+    """Whether ``coord`` lies inside a ``rows x cols`` grid (square if cols None)."""
+    if cols is None:
+        cols = rows
+    row, col = coord
+    return 0 <= row < rows and 0 <= col < cols
+
+
+def grid_neighbors4(coord: Coord2D, rows: int, cols: int | None = None) -> Iterator[Coord2D]:
+    """In-bounds 4-neighbours of ``coord``."""
+    if cols is None:
+        cols = rows
+    row, col = coord
+    for drow, dcol in OFFSETS4:
+        nrow, ncol = row + drow, col + dcol
+        if 0 <= nrow < rows and 0 <= ncol < cols:
+            yield (nrow, ncol)
+
+
+def grid_neighbors8(coord: Coord2D, rows: int, cols: int | None = None) -> Iterator[Coord2D]:
+    """In-bounds 8-neighbours of ``coord``."""
+    if cols is None:
+        cols = rows
+    row, col = coord
+    for drow, dcol in OFFSETS8:
+        nrow, ncol = row + drow, col + dcol
+        if 0 <= nrow < rows and 0 <= ncol < cols:
+            yield (nrow, ncol)
+
+
+def manhattan(a: Coord2D, b: Coord2D) -> int:
+    """Manhattan (L1) distance between two 2D coordinates."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def iter_grid(rows: int, cols: int | None = None) -> Iterator[Coord2D]:
+    """Row-major iteration over all coordinates of a grid."""
+    if cols is None:
+        cols = rows
+    for row in range(rows):
+        for col in range(cols):
+            yield (row, col)

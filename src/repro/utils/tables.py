@@ -1,0 +1,91 @@
+"""Plain-text table rendering for the experiment harness.
+
+The paper's evaluation is delivered as tables (Table 2, Table 3) and figure
+series; :class:`TextTable` renders the reproduced rows in the same layout so
+EXPERIMENTS.md and the bench output are directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_cell(value: object) -> str:
+    """Render one cell: thousands separators for ints, 3 sig. figs for floats."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+class TextTable:
+    """Accumulate rows, then render a fixed-width ASCII/markdown table."""
+
+    def __init__(self, columns: Sequence[str], title: str | None = None) -> None:
+        self.columns = list(columns)
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values: object) -> None:
+        """Append one row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([format_cell(value) for value in values])
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self, markdown: bool = False) -> str:
+        """Render the table as text (markdown pipes if ``markdown``)."""
+        widths = [len(name) for name in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def render_row(cells: Sequence[str]) -> str:
+            padded = [cell.ljust(widths[i]) for i, cell in enumerate(cells)]
+            if markdown:
+                return "| " + " | ".join(padded) + " |"
+            return "  ".join(padded)
+
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(render_row(self.columns))
+        if markdown:
+            lines.append("|" + "|".join("-" * (width + 2) for width in widths) + "|")
+        else:
+            lines.append("  ".join("-" * width for width in widths))
+        lines.extend(render_row(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def render_csv(self) -> str:
+        """Render as CSV (for plotting the reproduced figures elsewhere).
+
+        Commas and quotes inside cells are escaped per RFC 4180.
+        """
+
+        def escape(cell: str) -> str:
+            if any(ch in cell for ch in ',"\n'):
+                return '"' + cell.replace('"', '""') + '"'
+            return cell
+
+        lines = [",".join(escape(name) for name in self.columns)]
+        lines.extend(",".join(escape(cell) for cell in row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,111 @@
+"""Tests for the experiment statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    Summary,
+    bootstrap_mean,
+    crossing_point,
+    geometric_mean,
+    monotone_fraction,
+    repeat_runs,
+)
+
+
+class TestBootstrap:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean([])
+
+    def test_confidence_validated(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], confidence=1.0)
+
+    def test_single_sample_degenerate(self):
+        summary = bootstrap_mean([3.0])
+        assert summary.mean == summary.low == summary.high == 3.0
+        assert summary.half_width == 0.0
+
+    def test_interval_contains_mean(self):
+        summary = bootstrap_mean([1, 2, 3, 4, 5], rng=0)
+        assert summary.low <= summary.mean <= summary.high
+        assert summary.samples == 5
+
+    def test_tight_data_tight_interval(self):
+        tight = bootstrap_mean([10.0] * 20, rng=0)
+        loose = bootstrap_mean(list(range(20)), rng=0)
+        assert tight.half_width <= loose.half_width
+
+    def test_str_format(self):
+        assert "n=2" in str(bootstrap_mean([1.0, 2.0], rng=0))
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=30))
+    def test_interval_brackets_sample_range(self, values):
+        summary = bootstrap_mean(values, rng=1)
+        assert min(values) - 1e-9 <= summary.low
+        assert summary.high <= max(values) + 1e-9
+
+
+class TestRepeatRuns:
+    def test_runner_called_per_replica(self):
+        calls = []
+
+        def runner(index: int) -> float:
+            calls.append(index)
+            return float(index)
+
+        summary = repeat_runs(runner, repetitions=4, rng=0)
+        assert calls == [0, 1, 2, 3]
+        assert summary.mean == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            repeat_runs(lambda i: 0.0, repetitions=0)
+
+
+class TestTrends:
+    def test_monotone_fraction_perfect(self):
+        assert monotone_fraction([5, 4, 3, 2]) == 1.0
+        assert monotone_fraction([1, 2, 3], decreasing=False) == 1.0
+
+    def test_monotone_fraction_plateaus_count(self):
+        assert monotone_fraction([3, 3, 2]) == 1.0
+
+    def test_monotone_fraction_noise(self):
+        assert monotone_fraction([5, 6, 3, 2]) == pytest.approx(2 / 3)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            monotone_fraction([1])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestCrossingPoint:
+    def test_interpolates(self):
+        assert crossing_point([0, 10], [0.0, 1.0], 0.5) == pytest.approx(5.0)
+
+    def test_already_above(self):
+        assert crossing_point([2, 4], [0.9, 1.0], 0.5) == 2.0
+
+    def test_never_crosses(self):
+        assert crossing_point([0, 10], [0.0, 0.2], 0.5) is None
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            crossing_point([1], [1, 2], 0.5)
+
+    def test_fig16_style_usage(self):
+        """Locating sigmoid transitions, as the Fig. 16 analysis does."""
+        nodes = [6, 9, 12, 18, 24]
+        low_rate = [0.0, 0.0, 0.1, 0.5, 0.9]
+        high_rate = [0.0, 0.4, 0.9, 1.0, 1.0]
+        assert crossing_point(nodes, high_rate, 0.5) < crossing_point(
+            nodes, low_rate, 0.5
+        )

@@ -1,0 +1,88 @@
+"""Tests for the node-size autotuner (the Fig. 13(a)/16 policy as code)."""
+
+import pytest
+
+from repro.errors import RenormalizationError
+from repro.online import (
+    choose_node_side,
+    estimate_success,
+    rsl_size_for_virtual,
+    saturation_point,
+    success_curve,
+)
+from repro.utils.rng import ensure_rng
+
+
+class TestEstimateSuccess:
+    def test_perfect_bonds_always_succeed(self):
+        rng = ensure_rng(0)
+        assert estimate_success(24, 8, 1.0, trials=4, rng=rng) == 1.0
+
+    def test_dead_bonds_never_succeed(self):
+        rng = ensure_rng(0)
+        assert estimate_success(24, 8, 0.0, trials=4, rng=rng) == 0.0
+
+    def test_node_side_validation(self):
+        rng = ensure_rng(0)
+        with pytest.raises(RenormalizationError):
+            estimate_success(24, 0, 0.5, trials=1, rng=rng)
+        with pytest.raises(RenormalizationError):
+            estimate_success(24, 25, 0.5, trials=1, rng=rng)
+
+
+class TestChooseNodeSide:
+    def test_easy_regime_chooses_small_nodes(self):
+        choice = choose_node_side(36, 0.95, target_success=0.9, trials=6, rng=1)
+        assert choice.node_side <= 12
+        assert choice.estimated_success >= 0.9
+
+    def test_hard_regime_chooses_larger_nodes(self):
+        easy = choose_node_side(36, 0.90, target_success=0.9, trials=6, rng=1)
+        hard = choose_node_side(36, 0.68, target_success=0.9, trials=6, rng=1)
+        assert hard.node_side >= easy.node_side
+
+    def test_virtual_side_derivation(self):
+        choice = choose_node_side(48, 0.9, target_success=0.8, trials=4, rng=0)
+        assert choice.virtual_side == 48 // choice.node_side
+
+    def test_target_validation(self):
+        with pytest.raises(RenormalizationError):
+            choose_node_side(24, 0.75, target_success=0.0)
+
+    def test_unsaturable_returns_coarsest(self):
+        """Below threshold, nothing saturates; the coarsest choice returns."""
+        choice = choose_node_side(16, 0.2, target_success=0.99, trials=3, rng=0)
+        assert choice.estimated_success < 0.99
+
+
+class TestRslSizeForVirtual:
+    def test_returns_first_saturating_candidate(self):
+        choice = rsl_size_for_virtual(2, 0.9, target_success=0.8, trials=5, rng=2)
+        assert choice.rsl_size == choice.node_side * 2
+        assert choice.estimated_success >= 0.8
+
+    def test_harder_rate_needs_bigger_rsl(self):
+        easy = rsl_size_for_virtual(2, 0.92, target_success=0.9, trials=6, rng=3)
+        hard = rsl_size_for_virtual(2, 0.70, target_success=0.9, trials=6, rng=3)
+        assert hard.rsl_size >= easy.rsl_size
+
+    def test_virtual_side_validation(self):
+        with pytest.raises(RenormalizationError):
+            rsl_size_for_virtual(0, 0.75)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(RenormalizationError):
+            rsl_size_for_virtual(2, 0.75, candidate_node_sides=())
+
+
+class TestSuccessCurve:
+    def test_curve_is_sorted_and_bounded(self):
+        curve = success_curve(36, 0.78, [18, 6, 12], trials=5, rng=4)
+        assert [side for side, _s in curve] == [6, 12, 18]
+        assert all(0.0 <= s <= 1.0 for _n, s in curve)
+
+    def test_saturation_point(self):
+        curve = [(6, 0.0), (12, 0.4), (18, 0.95), (24, 1.0)]
+        assert saturation_point(curve, 0.9) == 18
+        assert saturation_point(curve, 0.99) == 24
+        assert saturation_point([(6, 0.1)], 0.9) is None

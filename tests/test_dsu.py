@@ -1,0 +1,131 @@
+"""Unit and property tests for the disjoint-set union."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.dsu import DisjointSet
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        dsu = DisjointSet()
+        assert len(dsu) == 0
+        assert dsu.component_count == 0
+
+    def test_add_returns_true_once(self):
+        dsu = DisjointSet()
+        assert dsu.add("a") is True
+        assert dsu.add("a") is False
+        assert len(dsu) == 1
+
+    def test_constructor_seeds_elements(self):
+        dsu = DisjointSet(["a", "b", "c"])
+        assert len(dsu) == 3
+        assert dsu.component_count == 3
+
+    def test_find_adds_missing_element(self):
+        dsu = DisjointSet()
+        assert dsu.find(7) == 7
+        assert 7 in dsu
+
+    def test_union_merges(self):
+        dsu = DisjointSet()
+        assert dsu.union(1, 2) is True
+        assert dsu.connected(1, 2)
+        assert dsu.component_count == 1
+
+    def test_union_idempotent(self):
+        dsu = DisjointSet()
+        dsu.union(1, 2)
+        assert dsu.union(2, 1) is False
+
+    def test_transitive_connectivity(self):
+        dsu = DisjointSet()
+        dsu.union(1, 2)
+        dsu.union(2, 3)
+        assert dsu.connected(1, 3)
+        assert not dsu.connected(1, 4)
+
+    def test_component_size(self):
+        dsu = DisjointSet()
+        dsu.union(1, 2)
+        dsu.union(2, 3)
+        dsu.add(4)
+        assert dsu.component_size(1) == 3
+        assert dsu.component_size(4) == 1
+
+    def test_components_grouping(self):
+        dsu = DisjointSet()
+        dsu.union("a", "b")
+        dsu.add("c")
+        groups = dsu.components()
+        sizes = sorted(len(group) for group in groups.values())
+        assert sizes == [1, 2]
+
+    def test_largest_component(self):
+        dsu = DisjointSet()
+        dsu.union(1, 2)
+        dsu.union(2, 3)
+        dsu.union(10, 11)
+        assert sorted(dsu.largest_component()) == [1, 2, 3]
+
+    def test_largest_component_empty(self):
+        assert DisjointSet().largest_component() == []
+
+    def test_iteration_covers_elements(self):
+        dsu = DisjointSet([1, 2, 3])
+        assert sorted(dsu) == [1, 2, 3]
+
+    def test_tuple_elements(self):
+        dsu = DisjointSet()
+        dsu.union((0, 0), (0, 1))
+        assert dsu.connected((0, 0), (0, 1))
+
+
+@given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30))))
+def test_component_count_invariant(pairs):
+    """component_count always equals the number of distinct roots."""
+    dsu = DisjointSet()
+    for a, b in pairs:
+        dsu.union(a, b)
+    roots = {dsu.find(element) for element in dsu}
+    assert dsu.component_count == len(roots)
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), min_size=1))
+def test_union_matches_reference_partition(pairs):
+    """Connectivity agrees with a brute-force reference partition."""
+    dsu = DisjointSet()
+    reference: list[set[int]] = []
+
+    def ref_find(x: int) -> set[int] | None:
+        for group in reference:
+            if x in group:
+                return group
+        return None
+
+    for a, b in pairs:
+        dsu.union(a, b)
+        ga, gb = ref_find(a), ref_find(b)
+        if ga is None and gb is None:
+            reference.append({a, b})
+        elif ga is None:
+            gb.add(a)
+        elif gb is None:
+            ga.add(b)
+        elif ga is not gb:
+            ga |= gb
+            reference.remove(gb)
+    for a, _ in pairs:
+        for b, _ in pairs:
+            assert dsu.connected(a, b) == (ref_find(a) is ref_find(b))
+
+
+@given(st.sets(st.integers(0, 100), min_size=1))
+def test_sizes_sum_to_total(elements):
+    dsu = DisjointSet(elements)
+    ordered = sorted(elements)
+    for a, b in zip(ordered, ordered[1:]):
+        if (a + b) % 3 == 0:
+            dsu.union(a, b)
+    assert sum(len(g) for g in dsu.components().values()) == len(elements)

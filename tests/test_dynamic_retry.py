@@ -1,0 +1,93 @@
+"""Tests for the Section 3.1 dynamic-retry strategy and its failure modes."""
+
+import pytest
+
+from repro.baseline.dynamic_retry import (
+    DynamicBuildResult,
+    build_with_dynamic_retry,
+    chain_edges,
+    triangle_edges,
+)
+from repro.errors import HardwareError
+
+
+class TestTargets:
+    def test_chain_edges(self):
+        assert chain_edges(3) == [(0, 1), (1, 2), (2, 3)]
+        with pytest.raises(HardwareError):
+            chain_edges(0)
+
+    def test_triangle_edges(self):
+        assert len(triangle_edges()) == 3
+
+
+class TestDynamicBuild:
+    def test_perfect_fusions_single_attempt(self):
+        result = build_with_dynamic_retry(
+            triangle_edges(), fusion_success_rate=1.0, rng=0
+        )
+        assert result.success
+        assert result.rsls_consumed == 1
+        assert result.fatal_failures == 0
+        assert result.fusions_attempted == 3
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(HardwareError):
+            build_with_dynamic_retry([], rng=0)
+
+    def test_impossible_rate_hits_restart_cap(self):
+        result = build_with_dynamic_retry(
+            chain_edges(2), fusion_success_rate=1e-9, rng=0, max_restarts=5
+        )
+        assert not result.success
+        assert result.rsls_consumed == 5
+
+    def test_retries_cost_leaves_and_fusions(self):
+        result = build_with_dynamic_retry(
+            triangle_edges(), fusion_success_rate=0.6, rng=2
+        )
+        assert result.success
+        assert result.fusions_attempted >= 3  # at least one per edge
+
+    def test_sequential_steps_count_every_fusion(self):
+        """Dynamic retry has zero concurrency: steps == fusion attempts."""
+        result = build_with_dynamic_retry(
+            chain_edges(4), fusion_success_rate=0.75, rng=3
+        )
+        assert result.sequential_steps == result.fusions_attempted
+
+    def test_restarts_grow_with_structure_size(self):
+        """Fig. 5's point: bigger targets mean more fatal failures."""
+
+        def average_rsls(edges, trials=80) -> float:
+            total = 0
+            for seed in range(trials):
+                total += build_with_dynamic_retry(
+                    edges, fusion_success_rate=0.7, rng=seed
+                ).rsls_consumed
+            return total / trials
+
+        small = average_rsls(chain_edges(2))
+        large = average_rsls(chain_edges(7))
+        assert large > small
+
+    def test_lower_rate_more_restarts(self):
+        def average_rsls(rate, trials=60) -> float:
+            total = 0
+            for seed in range(trials):
+                total += build_with_dynamic_retry(
+                    triangle_edges(), fusion_success_rate=rate, rng=seed
+                ).rsls_consumed
+            return total / trials
+
+        assert average_rsls(0.6) > average_rsls(0.9)
+
+    def test_result_dataclass_fields(self):
+        result = DynamicBuildResult(
+            success=True,
+            rsls_consumed=2,
+            fusions_attempted=5,
+            sequential_steps=5,
+            fatal_failures=1,
+        )
+        assert result.fatal_failures == result.rsls_consumed - 1

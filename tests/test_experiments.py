@@ -1,0 +1,120 @@
+"""Smoke and shape tests for the experiment harness (tiny parameters).
+
+Full bench-scale regeneration lives in benchmarks/; these tests exercise the
+experiment code paths and the headline *shape* claims at the smallest sizes
+that still show them.
+"""
+
+import pytest
+
+from repro.experiments import fig12, fig13, fig14, fig15, fig16, table2, table3
+from repro.experiments.common import BenchmarkCase, check_scale, stream_for, sweep
+
+
+class TestCommon:
+    def test_check_scale(self):
+        check_scale("bench")
+        with pytest.raises(ValueError):
+            check_scale("huge")
+
+    def test_case_label(self):
+        assert BenchmarkCase("qaoa", 9).label == "QAOA-9"
+
+    def test_stream_deterministic(self):
+        a = stream_for("x", seed=1).generator.random()
+        b = stream_for("x", seed=1).generator.random()
+        assert a == b
+
+    def test_sweep_averages(self):
+        rows = sweep([1, 2], lambda point, trial: point * 10 + trial, trials=2)
+        assert rows == [(1, 10.5), (2, 20.5)]
+
+
+class TestTable2:
+    def test_single_cell_shape(self):
+        row = table2.run_case(
+            BenchmarkCase("qaoa", 4), fusion_rate=0.75, rsl_cap=3000, node_side=12, seed=0
+        )
+        assert row.oneperc_rsl > 0
+        assert row.oneq_capped  # OneQ cannot survive p = 0.75
+        assert row.rsl_improvement > 1.0
+
+    def test_oneq_wins_fusions_at_tiny_scale_high_rate(self):
+        """At 4 qubits and p=0.9 OnePerc spends more fusions (Table 2)."""
+        row = table2.run_case(
+            BenchmarkCase("vqe", 4), fusion_rate=0.9, rsl_cap=10**5, node_side=12, seed=0
+        )
+        assert row.fusion_improvement < 1.0
+
+    def test_render_contains_benchmarks(self):
+        row = table2.run_case(
+            BenchmarkCase("qaoa", 4), fusion_rate=0.9, rsl_cap=10**4, node_side=12
+        )
+        text = table2.render([row])
+        assert "QAOA-4" in text
+
+
+class TestTable3:
+    def test_refresh_row_shape(self):
+        row = table3.run_case("rca", 9, refresh_every=5, seed=0)
+        assert row.non_refreshed_rsl is not None  # small program fits
+        assert row.refreshed_rsl >= row.non_refreshed_rsl
+        assert row.refreshed_peak_bytes <= row.non_refreshed_peak_bytes
+
+    def test_budget_dash(self):
+        row = table3.run_case(
+            "qft", 16, refresh_every=5, seed=0, budget=64 * 2**20
+        )
+        assert row.non_refreshed_rsl is None
+        assert row.refreshed_rsl > 0
+        assert row.overhead is None
+
+    def test_render_dash(self):
+        row = table3.run_case("qft", 16, refresh_every=5, seed=0, budget=64 * 2**20)
+        assert "-" in table3.render([row], refresh_every=5)
+
+
+class TestFigures:
+    def test_fig12_resource_size_trend(self):
+        """7-qubit stars need fewer RSLs than 4-qubit stars (Fig. 12(a))."""
+        small = fig12._compile_rsl("qaoa", 4, 2, 4, 48, 0.75, seed=0)
+        large = fig12._compile_rsl("qaoa", 4, 2, 7, 48, 0.75, seed=0)
+        assert large < small
+
+    def test_fig13_suitable_node_size_definition(self):
+        from repro.utils.rng import ensure_rng
+
+        node = fig13.suitable_node_size(36, 0.78, trials=6, rng=ensure_rng(0))
+        assert 4 <= node <= 36
+
+    def test_fig16_sigmoid_shape(self):
+        from repro.utils.rng import ensure_rng
+
+        rng = ensure_rng(1)
+        tiny = fig16.success_rate(36, 6, 0.72, trials=10, rng=rng)
+        large = fig16.success_rate(36, 18, 0.72, trials=10, rng=rng)
+        assert large >= tiny
+        assert large > 0.5
+
+    def test_fig16_rate_ordering(self):
+        from repro.utils.rng import ensure_rng
+
+        rng = ensure_rng(2)
+        low = fig16.success_rate(36, 12, 0.60, trials=10, rng=rng)
+        high = fig16.success_rate(36, 12, 0.85, trials=10, rng=rng)
+        assert high >= low
+
+    def test_fig14_result_dataclass(self):
+        result = fig14.Fig14Result()
+        result.per_program.append(("X", 0.1))
+        assert "X" in fig14.render(result)
+
+    def test_fig15_mapping_timer(self):
+        seconds, layers = fig15._time_mapping("qaoa", 4, 3, seed=0)
+        assert seconds > 0
+        assert layers > 0
+
+    def test_fig13_modularity_section_renders(self):
+        result = fig13.Fig13Result()
+        result.modularity.append(("non-modular (unlimited)", 64.0, 1000.0))
+        assert "non-modular" in fig13.render(result)

@@ -1,0 +1,86 @@
+"""Tests for RSL folding (Fig. 4's spatial/temporal tradeoff)."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hardware import (
+    folding_overhead_fraction,
+    max_effective_side,
+    plan_folding,
+)
+
+
+class TestPlanFolding:
+    def test_no_folding_needed(self):
+        plan = plan_folding(48, 48)
+        assert plan.tiles_per_side == 1
+        assert plan.cycles_per_layer == 1
+        assert plan.seam_fusions == 0
+        assert plan.oldest_photon_age == 0
+
+    def test_double_fold(self):
+        """Fig. 4: a 2x2 tiling quadruples the layer from 4 RSLs."""
+        plan = plan_folding(24, 48)
+        assert plan.tiles_per_side == 2
+        assert plan.cycles_per_layer == 4
+        assert plan.amplification == 4
+        assert plan.seam_fusions == 2 * 1 * 48
+
+    def test_partial_tile_rounds_up(self):
+        plan = plan_folding(24, 50)
+        assert plan.tiles_per_side == 3
+
+    def test_validation(self):
+        with pytest.raises(HardwareError):
+            plan_folding(0, 24)
+        with pytest.raises(HardwareError):
+            plan_folding(24, 12)  # shrinking is not folding
+
+    def test_lifetime_binds(self):
+        # 100x amplification needs 10,000 cycles of waiting, beyond 5,000.
+        with pytest.raises(HardwareError):
+            plan_folding(10, 1000, photon_lifetime=5000)
+        # ...but fits with a longer-lived memory.
+        plan = plan_folding(10, 1000, photon_lifetime=10**6)
+        assert plan.tiles_per_side == 100
+
+    def test_oldest_photon_age(self):
+        plan = plan_folding(10, 30)
+        assert plan.oldest_photon_age == plan.cycles_per_layer - 1
+
+
+class TestMaxEffectiveSide:
+    def test_paper_5000x_claim(self):
+        """With a 5000-cycle lifetime the RSL extends by up to ~70x per
+        side, i.e. ~5000x in area (Section 2.2's 'up to 5000 times')."""
+        side = max_effective_side(1, photon_lifetime=5000)
+        assert 64 <= side <= 71
+        assert abs(side**2 - 5000) < 1000
+
+    def test_scales_with_physical_array(self):
+        assert max_effective_side(10, 5000) == 10 * max_effective_side(1, 5000)
+
+    def test_validation(self):
+        with pytest.raises(HardwareError):
+            max_effective_side(0)
+
+    def test_plan_at_maximum_is_feasible(self):
+        side = max_effective_side(4, photon_lifetime=500)
+        plan = plan_folding(4, side, photon_lifetime=500)
+        assert plan.oldest_photon_age <= 500
+
+
+class TestOverhead:
+    def test_overhead_fraction_zero_without_folding(self):
+        assert folding_overhead_fraction(plan_folding(24, 24)) == 0.0
+
+    def test_overhead_fraction_small(self):
+        """Seams are a boundary effect: a small fraction of all bonds."""
+        plan = plan_folding(24, 96)
+        fraction = folding_overhead_fraction(plan)
+        assert 0.0 < fraction < 0.1
+
+    def test_overhead_grows_with_tiling(self):
+        coarse = folding_overhead_fraction(plan_folding(48, 96))
+        fine = folding_overhead_fraction(plan_folding(12, 96))
+        assert fine > coarse

@@ -1,0 +1,195 @@
+"""Tests for the hardware model: config, fusion device, delay lines, RSGs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareError
+from repro.graphstate import ResourceStateSpec
+from repro.hardware import (
+    DelayLineBank,
+    FusionDevice,
+    FusionTally,
+    HardwareConfig,
+    RSGArray,
+)
+
+
+class TestHardwareConfig:
+    def test_defaults(self):
+        config = HardwareConfig()
+        assert config.rsl_size == 48
+        assert config.fusion_success_rate == 0.75
+        assert config.photon_lifetime == 5000
+
+    def test_validation(self):
+        with pytest.raises(HardwareError):
+            HardwareConfig(rsl_size=1)
+        with pytest.raises(HardwareError):
+            HardwareConfig(fusion_success_rate=0.0)
+        with pytest.raises(HardwareError):
+            HardwareConfig(photon_loss_rate=1.0)
+        with pytest.raises(HardwareError):
+            HardwareConfig(photon_lifetime=0)
+
+    def test_effective_rate_with_loss(self):
+        config = HardwareConfig(fusion_success_rate=0.8, photon_loss_rate=0.1)
+        assert config.effective_fusion_rate == pytest.approx(0.8 * 0.81)
+
+    def test_merging_plan_4_qubit_stars(self):
+        config = HardwareConfig(resource_state=ResourceStateSpec(4))
+        assert config.merged_rsls_per_layer == 3
+        assert config.site_degree == 7
+        assert config.redundant_degree == 1
+
+    def test_merging_plan_7_qubit_stars(self):
+        config = HardwareConfig(resource_state=ResourceStateSpec(7))
+        assert config.merged_rsls_per_layer == 1
+        assert config.site_degree == 6
+        assert config.redundant_degree == 0
+
+    def test_sites_per_rsl(self):
+        assert HardwareConfig(rsl_size=10).sites_per_rsl == 100
+
+
+class TestFusionDevice:
+    def test_rate_validation(self):
+        with pytest.raises(HardwareError):
+            FusionDevice(0.0)
+
+    def test_attempt_counts(self):
+        device = FusionDevice(1.0, rng=0)
+        assert device.attempt() is True
+        assert device.tally.attempted == 1
+        assert device.tally.succeeded == 1
+
+    def test_batch_shape_and_tally(self):
+        device = FusionDevice(0.5, rng=0)
+        outcomes = device.attempt_batch(100, "temporal")
+        assert outcomes.shape == (100,)
+        assert device.tally.by_kind["temporal"] == 100
+
+    def test_grid_sampling(self):
+        device = FusionDevice(0.5, rng=0)
+        outcomes = device.attempt_grid((8, 9), "leaf-leaf")
+        assert outcomes.shape == (8, 9)
+        assert device.tally.attempted == 72
+
+    def test_negative_batch_rejected(self):
+        with pytest.raises(HardwareError):
+            FusionDevice(0.5).attempt_batch(-1)
+
+    def test_empirical_rate(self):
+        device = FusionDevice(0.75, rng=3)
+        device.attempt_batch(4000)
+        assert abs(device.tally.observed_rate - 0.75) < 0.03
+
+    def test_retries(self):
+        device = FusionDevice(1.0, rng=0)
+        success, attempts = device.attempt_with_retries(3, "leaf-leaf")
+        assert success and attempts == 1
+        always_fail = FusionDevice(1e-12, rng=0)
+        success, attempts = always_fail.attempt_with_retries(2, "leaf-leaf")
+        assert not success and attempts == 3
+
+    def test_tally_merge(self):
+        a = FusionTally()
+        a.record("x", 10, 7)
+        b = FusionTally()
+        b.record("x", 5, 5)
+        b.record("y", 1, 0)
+        a.merge(b)
+        assert a.attempted == 16
+        assert a.by_kind == {"x": 15, "y": 1}
+        assert a.failed == 4
+
+    def test_empty_tally_rate_is_nan(self):
+        assert FusionTally().observed_rate != FusionTally().observed_rate
+
+
+class TestDelayLines:
+    def test_store_and_retrieve(self):
+        bank = DelayLineBank(photon_lifetime=10)
+        bank.store("node", qubit_count=4)
+        assert bank.stored_qubits == 4
+        entry = bank.retrieve("node")
+        assert entry.qubit_count == 4
+        assert len(bank) == 0
+
+    def test_double_store_rejected(self):
+        bank = DelayLineBank(10)
+        bank.store("a")
+        with pytest.raises(HardwareError):
+            bank.store("a")
+
+    def test_retrieve_missing_rejected(self):
+        with pytest.raises(HardwareError):
+            DelayLineBank(10).retrieve("ghost")
+
+    def test_capacity(self):
+        bank = DelayLineBank(10, capacity=3)
+        bank.store("a", qubit_count=2)
+        with pytest.raises(HardwareError):
+            bank.store("b", qubit_count=2)
+
+    def test_lifetime_expiry(self):
+        bank = DelayLineBank(photon_lifetime=5)
+        bank.store("a")
+        expired = bank.advance(6)
+        assert [entry.key for entry in expired] == ["a"]
+        assert "a" not in bank
+
+    def test_retrieve_expired_raises(self):
+        bank = DelayLineBank(photon_lifetime=5)
+        bank.store("a")
+        bank.cycle += 6  # advance without sweeping
+        with pytest.raises(HardwareError):
+            bank.retrieve("a")
+
+    def test_advance_backwards_rejected(self):
+        with pytest.raises(HardwareError):
+            DelayLineBank(10).advance(-1)
+
+    def test_keys_order(self):
+        bank = DelayLineBank(10)
+        bank.store("x")
+        bank.store("y")
+        assert bank.keys() == ["x", "y"]
+
+
+class TestRSGArray:
+    def test_emit_layers_sequential(self):
+        array = RSGArray(HardwareConfig(rsl_size=4))
+        assert array.emit_layer().index == 0
+        assert array.emit_layer().index == 1
+
+    def test_layer_graph_build(self):
+        config = HardwareConfig(rsl_size=2, resource_state=ResourceStateSpec(4))
+        layer = RSGArray(config).emit_layer()
+        graph, stars = layer.build_graph()
+        assert len(stars) == 4
+        assert graph.node_count == 16  # 4 sites x 4 qubits
+
+    def test_merge_no_op_for_7_qubit_stars(self):
+        config = HardwareConfig(rsl_size=4, resource_state=ResourceStateSpec(7))
+        device = FusionDevice(0.75, rng=0)
+        result = RSGArray(config).merge_layers(device)
+        assert result.merge_fusions == 0
+        assert result.alive.all()
+        assert (result.degrees == 6).all()
+
+    def test_merge_perfect_fusions(self):
+        config = HardwareConfig(rsl_size=3, resource_state=ResourceStateSpec(4))
+        device = FusionDevice(1.0, rng=0)
+        result = RSGArray(config).merge_layers(device)
+        assert result.alive.all()
+        # 3 -> 3-1+3=5 -> 5-1+3=7, with exactly 2 fusions per site.
+        assert (result.degrees == 7).all()
+        assert result.merge_fusions == 2 * 9
+
+    def test_merge_with_failures_kills_some_sites(self):
+        config = HardwareConfig(rsl_size=24, resource_state=ResourceStateSpec(4))
+        device = FusionDevice(0.5, rng=1)
+        result = RSGArray(config).merge_layers(device)
+        assert not result.alive.all()
+        assert result.alive.any()
+        assert (result.degrees[result.alive] >= 1).all()

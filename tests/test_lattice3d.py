@@ -1,0 +1,65 @@
+"""Tests for the 3D cubic-lattice percolation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RenormalizationError
+from repro.online.lattice3d import (
+    CUBIC_BOND_THRESHOLD,
+    Percolated3D,
+    sample_lattice3d,
+    spanning_probability_3d,
+)
+
+
+class TestSampling:
+    def test_shapes(self):
+        lattice = sample_lattice3d(4, 0.5, rng=0)
+        assert lattice.sites.shape == (4, 4, 4)
+        assert lattice.bonds_x.shape == (3, 4, 4)
+        assert lattice.bonds_y.shape == (4, 3, 4)
+        assert lattice.bonds_z.shape == (4, 4, 3)
+
+    def test_validation(self):
+        with pytest.raises(RenormalizationError):
+            sample_lattice3d(0, 0.5)
+        with pytest.raises(RenormalizationError):
+            sample_lattice3d(3, -0.1)
+
+    def test_full_lattice_connected(self):
+        lattice = sample_lattice3d(3, 1.0, rng=0)
+        assert lattice.largest_cluster_fraction() == 1.0
+        assert lattice.spans_z()
+
+    def test_empty_lattice_isolated(self):
+        lattice = sample_lattice3d(3, 0.0, rng=0)
+        assert lattice.largest_cluster_fraction() == pytest.approx(1 / 27)
+        assert not lattice.spans_z()
+
+    def test_dead_sites_respected(self):
+        alive = np.ones((3, 3, 3), dtype=bool)
+        alive[:, :, 1] = False  # kill the whole middle slab
+        lattice = sample_lattice3d(3, 1.0, rng=0, site_alive=alive)
+        assert not lattice.spans_z()
+
+
+class TestThreshold:
+    def test_threshold_bracketing(self):
+        """Spanning is rare below p_c ~ 0.2488 and common above [Fig. 7(b)'s
+        comfortable margin at hardware rates]."""
+        low = spanning_probability_3d(8, 0.15, trials=20, rng=1)
+        high = spanning_probability_3d(8, 0.40, trials=20, rng=1)
+        assert low < 0.3
+        assert high > 0.7
+
+    def test_practical_rate_is_deep_in_supercritical(self):
+        """At the practical fusion rate 0.75 the 3D resource is essentially
+        fully long-range connected — the paper's starting point."""
+        lattice = sample_lattice3d(8, 0.75, rng=2)
+        assert lattice.largest_cluster_fraction() > 0.9
+        assert 0.75 > 2 * CUBIC_BOND_THRESHOLD
+
+    def test_monotone_in_probability(self):
+        low = spanning_probability_3d(6, 0.2, trials=20, rng=3)
+        high = spanning_probability_3d(6, 0.3, trials=20, rng=3)
+        assert high >= low

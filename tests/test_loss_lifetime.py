@@ -1,0 +1,107 @@
+"""Tests for photon-loss sensitivity and delay-line lifetime enforcement."""
+
+import pytest
+
+from repro.circuits import qaoa
+from repro.errors import HardwareError
+from repro.experiments.loss import effective_rate
+from repro.graphstate import ResourceStateSpec
+from repro.hardware import HardwareConfig
+from repro.mbqc import translate_circuit
+from repro.offline import OfflineMapper
+from repro.online import LayerDemand, OnlineReshaper
+
+
+class TestEffectiveRate:
+    def test_no_loss_identity(self):
+        assert effective_rate(0.0, 0.78) == pytest.approx(0.78)
+
+    def test_loss_squares(self):
+        """Both photons must arrive, so loss enters quadratically."""
+        assert effective_rate(0.1, 0.78) == pytest.approx(0.78 * 0.81)
+
+    def test_reshaper_degrades_with_loss(self):
+        """More loss -> lower effective rate -> more routing layers."""
+
+        def rsl_for(loss: float) -> int:
+            config = HardwareConfig(
+                rsl_size=36,
+                resource_state=ResourceStateSpec(7),
+                fusion_success_rate=0.75,
+                photon_loss_rate=loss,
+            )
+            reshaper = OnlineReshaper(config, virtual_size=2, rng=4, max_rsl=10**5)
+            return reshaper.run([LayerDemand(1, 0)] * 8).rsl_consumed
+
+        assert rsl_for(0.08) >= rsl_for(0.0)
+
+
+class TestLayerDemandGaps:
+    def test_gap_count_must_match(self):
+        with pytest.raises(HardwareError):
+            LayerDemand(adjacent_connections=0, cross_connections=2, cross_gaps=(3,))
+
+    def test_mapper_emits_gaps(self):
+        pattern = translate_circuit(qaoa(4, seed=0))
+        result = OfflineMapper(width=2).map_pattern(pattern)
+        for demand in result.demands:
+            assert len(demand.cross_gaps) == demand.cross_connections
+            assert all(gap >= 2 for gap in demand.cross_gaps)
+
+
+class TestLifetimeEnforcement:
+    def test_generous_lifetime_passes(self):
+        config = HardwareConfig(
+            rsl_size=32, resource_state=ResourceStateSpec(7), fusion_success_rate=0.8
+        )
+        reshaper = OnlineReshaper(config, virtual_size=2, rng=1)
+        demands = [
+            LayerDemand(0, 0),
+            LayerDemand(0, 0),
+            LayerDemand(0, 1, (2,)),
+        ]
+        metrics = reshaper.run(demands)
+        assert metrics.max_storage_cycles > 0
+
+    def test_tiny_lifetime_raises(self):
+        config = HardwareConfig(
+            rsl_size=32,
+            resource_state=ResourceStateSpec(7),
+            fusion_success_rate=0.8,
+            photon_lifetime=1,  # photons die after one cycle
+        )
+        reshaper = OnlineReshaper(config, virtual_size=2, rng=1)
+        demands = [
+            LayerDemand(0, 0),
+            LayerDemand(0, 0),
+            LayerDemand(0, 1, (2,)),  # waits >= 2 RSLs: must exceed lifetime
+        ]
+        with pytest.raises(HardwareError):
+            reshaper.run(demands)
+
+    def test_storage_cycles_reported(self):
+        config = HardwareConfig(
+            rsl_size=32, resource_state=ResourceStateSpec(7), fusion_success_rate=0.8
+        )
+        reshaper = OnlineReshaper(config, virtual_size=2, rng=2)
+        metrics = reshaper.run([LayerDemand(0, 0)] * 3 + [LayerDemand(0, 1, (3,))])
+        # The connection waited across at least 3 logical layers' RSLs.
+        assert metrics.max_storage_cycles >= 3
+
+
+class TestLossExperiment:
+    def test_bench_scale_runs_and_degrades(self):
+        from repro.experiments import loss
+
+        points, text = loss.run("bench")
+        assert "Loss rate" in text
+        by_benchmark: dict[str, list[tuple[float, int]]] = {}
+        for point in points:
+            by_benchmark.setdefault(point.benchmark, []).append(
+                (point.loss_rate, point.rsl_count)
+            )
+        for series in by_benchmark.values():
+            series.sort()
+            lossless = series[0][1]
+            lossy = series[-1][1]
+            assert lossy >= lossless * 0.8  # monotone up to Monte-Carlo noise

@@ -1,0 +1,180 @@
+"""Tests for translation, patterns, dependency DAG and the MBQC simulator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import (
+    Circuit,
+    qaoa,
+    qft,
+    rca,
+    simulate_statevector,
+    states_equal_up_to_phase,
+    vqe,
+)
+from repro.errors import TranslationError
+from repro.mbqc import (
+    DependencyDAG,
+    run_pattern,
+    translate_circuit,
+)
+from repro.mbqc.translate import pattern_size_summary
+
+
+def zero_input(pattern):
+    n = len(pattern.inputs)
+    state = np.zeros(2**n, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+class TestTranslation:
+    def test_single_j_structure(self):
+        circuit = Circuit(1)
+        circuit.j(0.4, 0)
+        pattern = translate_circuit(circuit)
+        assert pattern.node_count == 2
+        assert pattern.measured_count == 1
+        assert pattern.nodes[0].angle == pytest.approx(0.4)
+        assert pattern.nodes[0].successor == 1
+        assert pattern.outputs == [1]
+
+    def test_cz_toggles_edge(self):
+        circuit = Circuit(2)
+        circuit.cz(0, 1).cz(0, 1)
+        pattern = translate_circuit(circuit)
+        assert pattern.graph.edge_count == 0
+
+    def test_lowering_happens_automatically(self):
+        pattern = translate_circuit(qft(2))
+        pattern.validate()
+        assert pattern.measured_count > 0
+
+    def test_size_summary(self):
+        summary = pattern_size_summary(translate_circuit(qaoa(3, seed=0)))
+        assert summary["wires"] == 3
+        assert summary["nodes"] == summary["measured"] + 3
+
+    def test_flow_order_measures_everything_once(self):
+        pattern = translate_circuit(qft(3))
+        order = pattern.flow_order()
+        assert len(order) == pattern.measured_count
+        assert len(set(order)) == len(order)
+
+    def test_flow_order_respects_flow_condition(self):
+        """i must precede f(i) and every other neighbour of f(i)."""
+        pattern = translate_circuit(qaoa(4, seed=1))
+        position = {node: i for i, node in enumerate(pattern.flow_order())}
+        for node_id, node in pattern.nodes.items():
+            if node.is_output:
+                continue
+            for neighbor in pattern.graph.neighbors(node.successor):
+                if neighbor == node_id or pattern.nodes[neighbor].is_output:
+                    continue
+                assert position[node_id] < position[neighbor]
+
+
+class TestDependencyDAG:
+    def test_front_layer_starts_with_inputs(self):
+        pattern = translate_circuit(qft(2))
+        dag = DependencyDAG(pattern)
+        front = dag.front_layer(set())
+        assert set(pattern.inputs) <= set(front)
+
+    def test_front_layer_shrinks_and_grows(self):
+        pattern = translate_circuit(qaoa(3, seed=0))
+        dag = DependencyDAG(pattern)
+        order = dag.topological_order()
+        consumed = set()
+        for node in order:
+            front = dag.front_layer(consumed)
+            assert node in front
+            consumed.add(node)
+        assert dag.front_layer(consumed) == []
+
+    def test_topological_order_is_valid(self):
+        pattern = translate_circuit(vqe(3, seed=0))
+        dag = DependencyDAG(pattern)
+        position = {n: i for i, n in enumerate(dag.topological_order())}
+        for node in pattern.nodes:
+            for successor in dag.successors(node):
+                assert position[node] < position[successor]
+
+    def test_depth_at_least_wire_length(self):
+        circuit = Circuit(1)
+        for _ in range(5):
+            circuit.j(0.1, 0)
+        dag = DependencyDAG(translate_circuit(circuit))
+        assert dag.depth() >= 6  # 5 measured nodes + output
+
+
+class TestMBQCExecution:
+    @pytest.mark.parametrize(
+        "circuit",
+        [qft(3), qaoa(4, seed=3), vqe(3, seed=5), rca(4)],
+        ids=["qft3", "qaoa4", "vqe3", "rca4"],
+    )
+    def test_reproduces_circuit_on_zero_input(self, circuit):
+        pattern = translate_circuit(circuit)
+        rng = np.random.default_rng(42)
+        output, outcomes = run_pattern(pattern, input_state=zero_input(pattern), rng=rng)
+        assert states_equal_up_to_phase(output, simulate_statevector(circuit))
+        assert len(outcomes) == pattern.measured_count
+
+    def test_random_outcomes_still_correct(self):
+        """Different RNG seeds give different outcomes, same output state."""
+        circuit = qft(2)
+        pattern = translate_circuit(circuit)
+        reference = simulate_statevector(circuit)
+        histories = set()
+        for seed in range(6):
+            output, outcomes = run_pattern(
+                pattern, input_state=zero_input(pattern), rng=np.random.default_rng(seed)
+            )
+            assert states_equal_up_to_phase(output, reference)
+            histories.add(tuple(sorted(outcomes.items())))
+        assert len(histories) > 1  # feed-forward genuinely exercised
+
+    def test_postselect_zero_branch(self):
+        circuit = qft(2)
+        pattern = translate_circuit(circuit)
+        output, outcomes = run_pattern(
+            pattern, input_state=zero_input(pattern), postselect_zeros=True
+        )
+        assert set(outcomes.values()) == {0}
+        assert states_equal_up_to_phase(output, simulate_statevector(circuit))
+
+    def test_plus_input_default(self):
+        """Default input |+...+> equals running the circuit after H-walls."""
+        circuit = Circuit(2)
+        circuit.cz(0, 1)
+        circuit.j(0.0, 0)
+        pattern = translate_circuit(circuit)
+        output, _ = run_pattern(pattern, rng=np.random.default_rng(0))
+        prep = Circuit(2)
+        prep.h(0).h(1).cz(0, 1).h(0)
+        assert states_equal_up_to_phase(output, simulate_statevector(prep))
+
+    def test_bad_input_shape_rejected(self):
+        pattern = translate_circuit(qft(2))
+        with pytest.raises(TranslationError):
+            run_pattern(pattern, input_state=np.ones(3))
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_random_jcz_circuits_via_mbqc(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = Circuit(2, name="rand")
+        for _ in range(6):
+            if rng.random() < 0.6:
+                circuit.j(float(rng.uniform(0, 2 * math.pi)), int(rng.integers(2)))
+            else:
+                circuit.cz(0, 1)
+        pattern = translate_circuit(circuit)
+        output, _ = run_pattern(
+            pattern, input_state=zero_input(pattern), rng=np.random.default_rng(seed + 1)
+        )
+        assert states_equal_up_to_phase(output, simulate_statevector(circuit))

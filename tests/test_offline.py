@@ -1,0 +1,195 @@
+"""Tests for the offline mapper, routing and refresh/memory accounting."""
+
+import pytest
+
+from repro.circuits import Circuit, make_benchmark, qaoa, qft, vqe
+from repro.errors import MappingError, MemoryBudgetExceeded
+from repro.ir import InstructionInterpreter, lower_ir
+from repro.mbqc import translate_circuit
+from repro.offline import LayerGrid, OfflineMapper, route
+
+
+class TestLayerGrid:
+    def test_occupy_and_free(self):
+        grid = LayerGrid(3)
+        assert grid.is_free((0, 0))
+        grid.occupy((0, 0), "x")
+        assert not grid.is_free((0, 0))
+        grid.release((0, 0))
+        assert grid.is_free((0, 0))
+
+    def test_double_occupy_raises(self):
+        grid = LayerGrid(2)
+        grid.occupy((0, 0), "a")
+        with pytest.raises(ValueError):
+            grid.occupy((0, 0), "b")
+
+    def test_nearest_free_prefers_close(self):
+        grid = LayerGrid(3)
+        cell = grid.nearest_free([(0, 0)])
+        assert cell == (0, 0)
+        grid.occupy((0, 0), "x")
+        assert grid.nearest_free([(0, 0)]) in [(0, 1), (1, 0)]
+
+    def test_nearest_free_no_anchor(self):
+        assert LayerGrid(2).nearest_free([]) == (0, 0)
+
+    def test_nearest_free_full_grid(self):
+        grid = LayerGrid(2)
+        for row in range(2):
+            for col in range(2):
+                grid.occupy((row, col), "x")
+        assert grid.nearest_free([(0, 0)]) is None
+
+
+class TestRoute:
+    def test_adjacent_endpoints_empty_wire(self):
+        assert route(LayerGrid(3), (0, 0), (0, 1)) == []
+
+    def test_straight_wire(self):
+        wire = route(LayerGrid(4), (0, 0), (0, 3))
+        assert wire == [(0, 1), (0, 2)]
+
+    def test_blocked_route_detours(self):
+        grid = LayerGrid(3)
+        grid.occupy((0, 1), "wall")
+        wire = route(grid, (0, 0), (0, 2))
+        assert wire is not None
+        assert (0, 1) not in wire
+
+    def test_fully_blocked_returns_none(self):
+        grid = LayerGrid(3)
+        for row in range(3):
+            grid.occupy((row, 1), "wall")
+        assert route(grid, (0, 0), (0, 2)) is None
+
+    def test_wire_cells_are_free_cells(self):
+        grid = LayerGrid(5)
+        grid.occupy((2, 2), "obstacle")
+        wire = route(grid, (0, 0), (4, 4))
+        for cell in wire:
+            assert grid.is_free(cell)
+
+
+class TestOfflineMapper:
+    def test_parameter_validation(self):
+        with pytest.raises(MappingError):
+            OfflineMapper(width=1)
+        with pytest.raises(MappingError):
+            OfflineMapper(width=3, occupancy_limit=0.0)
+        with pytest.raises(MappingError):
+            OfflineMapper(width=3, refresh_every=0)
+
+    @pytest.mark.parametrize(
+        "circuit,width",
+        [
+            (qaoa(4, seed=1), 2),
+            (qft(4), 2),
+            (vqe(4, seed=1), 2),
+            (make_benchmark("rca", 4), 2),
+            (qaoa(9, seed=1), 3),
+            (vqe(9, seed=1), 3),
+        ],
+        ids=["qaoa4", "qft4", "vqe4", "rca4", "qaoa9", "vqe9"],
+    )
+    def test_mapping_realizes_exact_edge_set(self, circuit, width):
+        """The IR's wires realize exactly the program graph state's edges."""
+        pattern = translate_circuit(circuit)
+        result = OfflineMapper(width=width).map_pattern(pattern)
+        expected = {frozenset((u, v)) for u, v in pattern.graph.edges()}
+        assert result.ir.connected_graph_pairs() == expected
+        result.ir.validate()
+
+    def test_every_program_node_mapped_once(self):
+        pattern = translate_circuit(qaoa(4, seed=2))
+        result = OfflineMapper(width=2).map_pattern(pattern)
+        placed = result.ir.graph_nodes()
+        assert set(placed) == set(pattern.nodes)
+
+    def test_instruction_round_trip(self):
+        pattern = translate_circuit(qft(4))
+        result = OfflineMapper(width=2).map_pattern(pattern)
+        rebuilt = InstructionInterpreter(2).run(lower_ir(result.ir))
+        assert rebuilt.structurally_equal(result.ir)
+
+    def test_demands_match_temporal_edges(self):
+        pattern = translate_circuit(qaoa(4, seed=0))
+        result = OfflineMapper(width=2).map_pattern(pattern)
+        total_connections = sum(
+            d.adjacent_connections + d.cross_connections for d in result.demands
+        )
+        assert total_connections == len(result.ir.temporal_edges())
+        assert len(result.demands) == result.layer_count
+
+    def test_occupancy_limit_enforced(self):
+        """Each layer introduces at most ceil(limit * W^2) incomplete nodes."""
+        pattern = translate_circuit(qaoa(9, seed=0))
+        width = 4
+        limit = max(1, int(0.25 * width * width))
+        result = OfflineMapper(width=width, occupancy_limit=0.25).map_pattern(pattern)
+        # Count *new graph nodes with pending edges* per layer: bounded by
+        # the incomplete-node cap (+1 because the limit is checked before
+        # placement).
+        by_layer: dict[int, int] = {}
+        placed_layer = {g: coord[2] for g, coord in result.ir.graph_nodes().items()}
+        for g_node, layer in placed_layer.items():
+            neighbors = pattern.graph.neighbors(g_node)
+            if any(placed_layer[nb] >= layer for nb in neighbors):
+                by_layer[layer] = by_layer.get(layer, 0) + 1
+        assert max(by_layer.values()) <= limit + 1
+
+    def test_memory_budget_enforced(self):
+        pattern = translate_circuit(qft(9))
+        with pytest.raises(MemoryBudgetExceeded):
+            OfflineMapper(
+                width=3,
+                memory_budget_bytes=10 * 2**20,
+                bytes_per_node_layer=2**20,
+            ).map_pattern(pattern)
+
+    def test_refresh_reduces_peak_memory(self):
+        pattern = translate_circuit(qft(9))
+        plain = OfflineMapper(width=3, bytes_per_node_layer=2**20).map_pattern(pattern)
+        refreshed = OfflineMapper(
+            width=3, refresh_every=5, bytes_per_node_layer=2**20
+        ).map_pattern(pattern)
+        assert refreshed.peak_memory_bytes < plain.peak_memory_bytes
+        assert refreshed.layer_count > plain.layer_count  # the #RSL price
+        assert refreshed.refresh_layer_count > 0
+
+    def test_refresh_preserves_edge_realization(self):
+        pattern = translate_circuit(qaoa(9, seed=3))
+        result = OfflineMapper(width=3, refresh_every=4).map_pattern(pattern)
+        expected = {frozenset((u, v)) for u, v in pattern.graph.edges()}
+        assert result.ir.connected_graph_pairs() == expected
+
+    def test_dense_program_on_tiny_hardware(self):
+        """Worldline meetings + home relocation let even a 2x2 layer host a
+        fully-entangled 9-qubit program (many more live wires than cells)."""
+        pattern = translate_circuit(vqe(9, seed=0))
+        result = OfflineMapper(width=2).map_pattern(pattern)
+        expected = {frozenset((u, v)) for u, v in pattern.graph.edges()}
+        assert result.ir.connected_graph_pairs() == expected
+
+    def test_static_scheduling_works_but_differs(self):
+        pattern = translate_circuit(qaoa(4, seed=5))
+        dynamic = OfflineMapper(width=2).map_pattern(pattern)
+        static = OfflineMapper(width=2, dynamic_scheduling=False).map_pattern(pattern)
+        expected = {frozenset((u, v)) for u, v in pattern.graph.edges()}
+        assert static.ir.connected_graph_pairs() == expected
+        assert dynamic.ir.connected_graph_pairs() == expected
+
+    def test_wider_hardware_fewer_layers(self):
+        pattern = translate_circuit(qft(9))
+        narrow = OfflineMapper(width=3).map_pattern(pattern)
+        wide = OfflineMapper(width=6).map_pattern(pattern)
+        assert wide.layer_count < narrow.layer_count
+
+    def test_single_wire_program(self):
+        circuit = Circuit(1)
+        for _ in range(4):
+            circuit.j(0.3, 0)
+        pattern = translate_circuit(circuit)
+        result = OfflineMapper(width=2).map_pattern(pattern)
+        expected = {frozenset((u, v)) for u, v in pattern.graph.edges()}
+        assert result.ir.connected_graph_pairs() == expected

@@ -1,0 +1,89 @@
+"""Property tests of the renormalization carving invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.online import renormalize, sample_lattice
+
+
+@st.composite
+def carving_cases(draw):
+    size = draw(st.integers(8, 28))
+    target = draw(st.integers(1, max(1, size // 6)))
+    probability = draw(st.sampled_from([0.6, 0.72, 0.85, 1.0]))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return size, target, probability, seed
+
+
+@given(carving_cases())
+@settings(max_examples=40, deadline=None)
+def test_same_orientation_paths_are_disjoint(case):
+    size, target, probability, seed = case
+    lattice = sample_lattice(size, probability, rng=np.random.default_rng(seed))
+    result = renormalize(lattice, target)
+    for paths in (result.vertical_paths, result.horizontal_paths):
+        seen: set = set()
+        for path in paths:
+            assert not (seen & set(path)), "parallel paths must not share sites"
+            seen |= set(path)
+
+
+@given(carving_cases())
+@settings(max_examples=40, deadline=None)
+def test_paths_are_connected_walks(case):
+    size, target, probability, seed = case
+    snapshot = sample_lattice(size, probability, rng=np.random.default_rng(seed))
+    result = renormalize(snapshot.copy(), target)
+    for path in result.vertical_paths + result.horizontal_paths:
+        for a, b in zip(path, path[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+            assert snapshot.has_bond(a, b)
+
+
+@given(carving_cases())
+@settings(max_examples=40, deadline=None)
+def test_success_implies_complete_node_grid(case):
+    size, target, probability, seed = case
+    lattice = sample_lattice(size, probability, rng=np.random.default_rng(seed))
+    result = renormalize(lattice, target)
+    if result.success:
+        assert len(result.node_sites) == target * target
+        assert len(result.vertical_paths) == target
+        assert len(result.horizontal_paths) == target
+        for (v_index, h_index), coord in result.node_sites.items():
+            assert coord in result.vertical_paths[v_index]
+            assert coord in result.horizontal_paths[h_index]
+    else:
+        assert result.lattice_size < target
+
+
+@given(carving_cases())
+@settings(max_examples=30, deadline=None)
+def test_paths_confined_to_their_strips(case):
+    """Strip confinement is the tangling guard: every vertical path stays in
+    its column strip, every horizontal path in its row band."""
+    size, target, probability, seed = case
+    lattice = sample_lattice(size, probability, rng=np.random.default_rng(seed))
+    result = renormalize(lattice, target)
+
+    def strip_range(index: int) -> tuple[int, int]:
+        return (index * size) // target, ((index + 1) * size) // target
+
+    for index, path in enumerate(result.vertical_paths):
+        low, high = strip_range(index)
+        assert all(low <= col < high for _row, col in path)
+    for index, path in enumerate(result.horizontal_paths):
+        low, high = strip_range(index)
+        assert all(low <= row < high for row, _col in path)
+
+
+@given(carving_cases())
+@settings(max_examples=30, deadline=None)
+def test_visited_work_scales_with_lattice(case):
+    """The Fig. 14 cost proxy is positive and bounded by a small multiple of
+    the lattice area (the O(N^2) claim of Section 5.1)."""
+    size, target, probability, seed = case
+    lattice = sample_lattice(size, probability, rng=np.random.default_rng(seed))
+    result = renormalize(lattice, target)
+    assert result.visited_sites > 0
+    assert result.visited_sites <= 6 * size * size * max(1, target)

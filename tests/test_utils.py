@@ -1,0 +1,144 @@
+"""Tests for RNG plumbing, grid geometry and table rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.gridgeom import (
+    grid_neighbors4,
+    grid_neighbors8,
+    in_bounds,
+    iter_grid,
+    manhattan,
+)
+from repro.utils.rng import DEFAULT_SEED, RandomStream, derive_seed, ensure_rng
+from repro.utils.tables import TextTable, format_cell
+
+
+class TestRng:
+    def test_ensure_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_ensure_rng_from_int_deterministic(self):
+        assert ensure_rng(5).random() == ensure_rng(5).random()
+
+    def test_ensure_rng_default_seed(self):
+        assert ensure_rng(None).random() == ensure_rng(DEFAULT_SEED).random()
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_derive_seed_distinct_labels(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_derive_seed_distinct_bases(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_child_streams_independent(self):
+        stream = RandomStream(7)
+        a = stream.child("x").generator.random(8)
+        b = stream.child("y").generator.random(8)
+        assert not np.allclose(a, b)
+
+    def test_child_streams_reproducible(self):
+        a = RandomStream(7).child("x").generator.random(4)
+        b = RandomStream(7).child("x").generator.random(4)
+        assert np.allclose(a, b)
+
+    def test_spawn_count_and_distinctness(self):
+        streams = RandomStream(3).spawn(4, "replica")
+        assert len(streams) == 4
+        seeds = {s.seed for s in streams}
+        assert len(seeds) == 4
+
+
+class TestGridGeometry:
+    def test_in_bounds_square(self):
+        assert in_bounds((0, 0), 3)
+        assert in_bounds((2, 2), 3)
+        assert not in_bounds((3, 0), 3)
+        assert not in_bounds((0, -1), 3)
+
+    def test_in_bounds_rectangle(self):
+        assert in_bounds((4, 1), 5, 2)
+        assert not in_bounds((4, 2), 5, 2)
+
+    def test_neighbors4_center(self):
+        assert sorted(grid_neighbors4((1, 1), 3)) == [(0, 1), (1, 0), (1, 2), (2, 1)]
+
+    def test_neighbors4_corner(self):
+        assert sorted(grid_neighbors4((0, 0), 3)) == [(0, 1), (1, 0)]
+
+    def test_neighbors8_center_count(self):
+        assert len(list(grid_neighbors8((1, 1), 3))) == 8
+
+    def test_neighbors8_corner_count(self):
+        assert len(list(grid_neighbors8((0, 0), 3))) == 3
+
+    def test_manhattan(self):
+        assert manhattan((0, 0), (2, 3)) == 5
+        assert manhattan((1, 1), (1, 1)) == 0
+
+    def test_iter_grid_row_major(self):
+        assert list(iter_grid(2)) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    @given(st.integers(1, 8), st.integers(0, 7), st.integers(0, 7))
+    def test_neighbors_are_distance_one(self, size, row, col):
+        if not in_bounds((row, col), size):
+            return
+        for neighbor in grid_neighbors4((row, col), size):
+            assert manhattan((row, col), neighbor) == 1
+            assert in_bounds(neighbor, size)
+
+
+class TestTables:
+    def test_format_int_thousands(self):
+        assert format_cell(1234567) == "1,234,567"
+
+    def test_format_float_sig_figs(self):
+        assert format_cell(0.123456) == "0.123"
+
+    def test_format_nan_dash(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_add_row_validates_width(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_contains_all_cells(self):
+        table = TextTable(["name", "count"], title="T")
+        table.add_row("x", 10)
+        table.add_row("longer-name", 2000)
+        rendered = table.render()
+        assert "T" in rendered
+        assert "longer-name" in rendered
+        assert "2,000" in rendered
+
+    def test_markdown_render_has_pipes(self):
+        table = TextTable(["a"])
+        table.add_row(1)
+        assert table.render(markdown=True).count("|") >= 4
+
+    def test_extend(self):
+        table = TextTable(["a", "b"])
+        table.extend([(1, 2), (3, 4)])
+        assert len(table.rows) == 2
+
+
+class TestCsvRendering:
+    def test_basic_csv(self):
+        table = TextTable(["a", "b"])
+        table.add_row(1, "x")
+        assert table.render_csv() == "a,b\n1,x"
+
+    def test_csv_escapes_commas_and_quotes(self):
+        table = TextTable(["name"])
+        table.add_row('he said "1,5"')
+        assert table.render_csv().splitlines()[1] == '"he said ""1,5"""'
+
+    def test_csv_row_count(self):
+        table = TextTable(["x"])
+        table.extend([(i,) for i in range(5)])
+        assert len(table.render_csv().splitlines()) == 6

@@ -1,0 +1,137 @@
+"""Tests for the ASCII visualization helpers and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.ir import ROLE_ANCILLA, ROLE_GRAPH, ROLE_WORLDLINE, FlexLatticeIR
+from repro.online import LayerDemand, renormalize, sample_lattice
+from repro.viz import (
+    render_demand_profile,
+    render_ir,
+    render_ir_layer,
+    render_lattice,
+    render_renormalization,
+)
+
+
+class TestVizLattice:
+    def test_render_lattice_shape(self):
+        lattice = sample_lattice(5, 1.0, rng=0)
+        art = render_lattice(lattice)
+        lines = art.splitlines()
+        assert len(lines) == 5
+        assert all(len(line) == 5 for line in lines)
+        assert set(art) <= {"o", ".", "\n"}
+
+    def test_dead_sites_rendered(self):
+        alive = np.ones((3, 3), dtype=bool)
+        alive[1, 1] = False
+        lattice = sample_lattice(3, 1.0, rng=0, site_alive=alive)
+        assert render_lattice(lattice).splitlines()[1][1] == "."
+
+    def test_render_renormalization_marks_nodes(self):
+        lattice = sample_lattice(12, 1.0, rng=0)
+        result = renormalize(lattice.copy(), 3)
+        art = render_renormalization(lattice, result)
+        assert art.count("+") >= 9  # at least one glyph per logical node
+        assert "|" in art and "-" in art
+
+
+class TestVizIR:
+    def build_ir(self):
+        ir = FlexLatticeIR(3)
+        ir.add_node((0, 0, 0), ROLE_GRAPH, 1)
+        ir.add_node((0, 1, 0), ROLE_ANCILLA)
+        ir.add_spatial_edge((0, 0, 0), (0, 1, 0))
+        ir.add_node((0, 0, 1), ROLE_WORLDLINE, 1)
+        ir.add_temporal_edge((0, 0, 0), (0, 0, 1))
+        return ir
+
+    def test_layer_glyphs(self):
+        art = render_ir_layer(self.build_ir(), 0)
+        assert art.splitlines()[0][:2] == "Ga"
+
+    def test_worldline_glyph(self):
+        art = render_ir_layer(self.build_ir(), 1)
+        assert art.splitlines()[0][0] == "W"
+
+    def test_render_ir_counts_layers(self):
+        art = render_ir(self.build_ir())
+        assert "layer 0" in art and "layer 1" in art
+        assert "1 temporal in" in art
+
+    def test_render_ir_truncation(self):
+        art = render_ir(self.build_ir(), max_layers=1)
+        assert "more layers" in art
+
+    def test_demand_profile(self):
+        art = render_demand_profile(
+            [LayerDemand(2, 1, (3,)), LayerDemand(0, 0)]
+        )
+        assert "##%" in art
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compile_command(self, capsys):
+        code = main(
+            [
+                "compile",
+                "--benchmark", "qaoa",
+                "--qubits", "4",
+                "--rate", "0.9",
+                "--rsl-size", "24",
+                "--max-rsl", "100000",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "#RSL:" in output
+        assert "PL ratio:" in output
+
+    def test_compile_with_ir_dump(self, capsys):
+        code = main(
+            [
+                "compile",
+                "--benchmark", "qaoa",
+                "--qubits", "4",
+                "--rate", "0.9",
+                "--rsl-size", "24",
+                "--max-rsl", "100000",
+                "--show-ir", "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "layer 0" in output
+
+    def test_baseline_command(self, capsys):
+        code = main(
+            [
+                "baseline",
+                "--benchmark", "vqe",
+                "--qubits", "4",
+                "--rate", "0.9",
+                "--rsl-size", "24",
+                "--max-rsl", "5000",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "restarts:" in output
+
+    def test_percolate_command(self, capsys):
+        code = main(
+            ["percolate", "--size", "16", "--rate", "0.8", "--node", "8"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "renormalization" in output
+
+    def test_bad_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "--benchmark", "nope", "--qubits", "4"])
