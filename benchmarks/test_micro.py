@@ -21,6 +21,18 @@ def test_bond_sampling_48(benchmark):
     benchmark(lambda: sample_lattice(48, 0.75, rng))
 
 
+def test_components_vectorized_48(benchmark):
+    """The online hot path: numpy label-propagation flood fill."""
+    lattice = sample_lattice(48, 0.75, np.random.default_rng(0))
+    benchmark(lattice.components)
+
+
+def test_components_dsu_48(benchmark):
+    """The pre-vectorization union-find reference, kept for comparison."""
+    lattice = sample_lattice(48, 0.75, np.random.default_rng(0))
+    benchmark(lattice.components_dsu)
+
+
 def test_renormalize_48(benchmark):
     rng = np.random.default_rng(0)
 

@@ -1,0 +1,86 @@
+"""Perf-trajectory snapshot for the online hot path and the pass pipeline.
+
+Times the two ``components()`` implementations and ``renormalize`` on
+size-48 RSLs (the 4-qubit @ p = 0.75 configuration of Table 1), asserts the
+vectorized flood fill holds its >= 3x advantage over the union-find
+reference, and records the throughputs to ``benchmarks/BENCH_pipeline.json``
+so later PRs can track the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.online.percolation import sample_lattice
+from repro.online.renormalize import renormalize
+from repro.pipeline import Pipeline, PipelineSettings
+
+SNAPSHOT = Path(__file__).parent / "BENCH_pipeline.json"
+
+RSL_SIZE = 48
+TARGET = 4  # node side 12, the paper's p = 0.90 multiplier
+REPEATS = 25
+
+
+PASSES = 3  # best-of-N passes damps scheduler noise on loaded machines
+
+
+def _throughput(fn, inputs) -> tuple[float, float]:
+    """(ops per second, mean milliseconds) for ``fn``, best of ``PASSES``."""
+    best = float("inf")
+    for _ in range(PASSES):
+        start = time.perf_counter()
+        for item in inputs:
+            fn(item)
+        best = min(best, time.perf_counter() - start)
+    return len(inputs) / best, best / len(inputs) * 1e3
+
+
+def test_components_speedup_and_snapshot():
+    rng = np.random.default_rng(0)
+    lattices = [sample_lattice(RSL_SIZE, 0.75, rng) for _ in range(REPEATS)]
+
+    # Warm-up excludes one-time numpy dispatch costs from the measurement.
+    lattices[0].components()
+    lattices[0].components_dsu()
+
+    vec_ops, vec_ms = _throughput(lambda lat: lat.components(), lattices)
+    dsu_ops, dsu_ms = _throughput(lambda lat: lat.components_dsu(), lattices)
+    renorm_ops, renorm_ms = _throughput(
+        lambda lat: renormalize(lat.copy(), TARGET), lattices
+    )
+
+    # One end-to-end compile for per-pass seconds context.
+    from repro.circuits import make_benchmark
+
+    result = Pipeline(
+        PipelineSettings(fusion_success_rate=0.75, max_rsl=10**5), seed=0
+    ).compile(make_benchmark("qaoa", 4, seed=0))
+
+    speedup = vec_ms and dsu_ms / vec_ms
+    snapshot = {
+        "rsl_size": RSL_SIZE,
+        "bond_probability": 0.75,
+        "repeats": REPEATS,
+        "python": platform.python_version(),
+        "components_vectorized": {"ops_per_s": vec_ops, "mean_ms": vec_ms},
+        "components_dsu": {"ops_per_s": dsu_ops, "mean_ms": dsu_ms},
+        "components_speedup": speedup,
+        "renormalize": {
+            "target_size": TARGET,
+            "ops_per_s": renorm_ops,
+            "mean_ms": renorm_ms,
+        },
+        "compile_qaoa4_pass_seconds": result.timings_by_pass,
+    }
+    SNAPSHOT.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+    assert speedup >= 3.0, (
+        f"vectorized components() is only {speedup:.1f}x the DSU version "
+        f"({vec_ms:.3f} ms vs {dsu_ms:.3f} ms at size {RSL_SIZE})"
+    )

@@ -27,8 +27,13 @@ from repro.errors import (
 )
 from repro.graphstate import GraphState, ResourceStateSpec
 from repro.analysis import Summary, bootstrap_mean, monotone_fraction
+from repro.compiler import OnePercCompiler
+from repro.pipeline import Pipeline, PipelineSettings
 
 __all__ = [
+    "OnePercCompiler",
+    "Pipeline",
+    "PipelineSettings",
     "ReproError",
     "GraphStateError",
     "HardwareError",

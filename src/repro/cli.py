@@ -4,6 +4,7 @@ online pass.
 Usage (also via ``python -m repro.cli``)::
 
     python -m repro.cli compile --benchmark qaoa --qubits 4 --rate 0.75
+    python -m repro.cli compile --benchmark qaoa --qubits 4 --json
     python -m repro.cli baseline --benchmark qft --qubits 4 --rate 0.75
     python -m repro.cli experiment --name table2 --scale bench
     python -m repro.cli percolate --size 24 --rate 0.75 --node 8
@@ -12,10 +13,11 @@ Usage (also via ``python -m repro.cli``)::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.circuits.benchmarks import BENCHMARKS, make_benchmark
-from repro.compiler.driver import OnePercCompiler
+from repro.pipeline import Pipeline, PipelineSettings
 
 
 def _add_common_compile_args(parser: argparse.ArgumentParser) -> None:
@@ -27,29 +29,56 @@ def _add_common_compile_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--rsl-size", type=int, default=None)
     parser.add_argument("--virtual-size", type=int, default=None)
     parser.add_argument("--max-rsl", type=int, default=10**6)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON record (with per-pass timings) "
+        "instead of the human-readable report",
+    )
 
 
-def _build_compiler(args: argparse.Namespace) -> OnePercCompiler:
-    return OnePercCompiler(
+def _build_pipeline(args: argparse.Namespace) -> Pipeline:
+    settings = PipelineSettings(
         fusion_success_rate=args.rate,
         resource_state_size=args.stars,
         rsl_size=args.rsl_size,
         virtual_size=args.virtual_size,
-        seed=args.seed,
         max_rsl=args.max_rsl,
     )
+    return Pipeline(settings, seed=args.seed)
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
     circuit = make_benchmark(args.benchmark, args.qubits, seed=args.seed)
-    result = _build_compiler(args).compile(circuit)
+    result = _build_pipeline(args).compile(circuit)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "command": "compile",
+                    "benchmark": circuit.name,
+                    "num_qubits": result.num_qubits,
+                    "seed": args.seed,
+                    "fusion_success_rate": args.rate,
+                    "rsl_count": result.rsl_count,
+                    "fusion_count": result.fusion_count,
+                    "logical_layers": result.logical_layers,
+                    "pl_ratio": result.pl_ratio,
+                    "offline_seconds": result.offline_seconds,
+                    "online_seconds": result.online_seconds,
+                    "pass_timings": result.timings_by_pass,
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(f"benchmark:      {circuit.name}")
     print(f"#RSL:           {result.rsl_count}")
     print(f"#fusion:        {result.fusion_count}")
     print(f"logical layers: {result.logical_layers}")
     print(f"PL ratio:       {result.pl_ratio:.2f}")
-    print(f"offline time:   {result.offline_seconds:.3f} s")
-    print(f"online time:    {result.online_seconds:.3f} s")
+    for name, seconds in result.timings_by_pass.items():
+        print(f"{name + ' time:':<21}{seconds:.3f} s")
     if args.show_ir:
         from repro.viz import render_ir
 
@@ -60,7 +89,25 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 def cmd_baseline(args: argparse.Namespace) -> int:
     circuit = make_benchmark(args.benchmark, args.qubits, seed=args.seed)
-    result = _build_compiler(args).compile_baseline(circuit)
+    result = _build_pipeline(args).compile_baseline(circuit)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "command": "baseline",
+                    "benchmark": circuit.name,
+                    "num_qubits": args.qubits,
+                    "seed": args.seed,
+                    "fusion_success_rate": args.rate,
+                    "rsl_count": result.rsl_count,
+                    "fusion_count": result.fusion_count,
+                    "restarts": result.restarts,
+                    "capped": result.capped,
+                },
+                indent=2,
+            )
+        )
+        return 0
     capped = " (hit the cap)" if result.capped else ""
     print(f"benchmark: {circuit.name}")
     print(f"#RSL:      {result.rsl_count}{capped}")

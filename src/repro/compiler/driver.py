@@ -1,73 +1,36 @@
-"""The end-to-end OnePerc compiler.
+"""The end-to-end OnePerc compiler, as a facade over the pass pipeline.
 
-Chains the full pipeline of Fig. 2: circuit -> {J, CZ} -> measurement
-pattern / program graph state -> offline mapping to a FlexLattice IR ->
-intermediate-level instructions -> online execution over streamed RSLs ->
-#RSL / #fusion metrics.  Also exposes the OneQ + repeat-until-success
-baseline for side-by-side comparison (Table 2).
+The full Fig. 2 flow (circuit -> {J, CZ} -> measurement pattern / program
+graph state -> offline mapping to a FlexLattice IR -> intermediate-level
+instructions -> online execution over streamed RSLs -> #RSL / #fusion
+metrics) lives in :mod:`repro.pipeline`; this module keeps the original
+one-object API.  ``OnePercCompiler`` is configuration plus delegation: the
+same constructor, the same ``compile``/``compile_baseline`` signatures, the
+same :class:`CompilationResult` — and bit-identical metrics for the same
+seed, because the pipeline derives its RNG streams exactly as the old
+driver did.
 """
 
 from __future__ import annotations
 
-import math
-import time
-from dataclasses import dataclass, field
-
-from repro.baseline.oneq import plan_oneq
-from repro.baseline.retry import (
-    DEFAULT_RSL_CAP,
-    BaselineResult,
-    RepeatUntilSuccessExecutor,
-)
+from repro.baseline.retry import DEFAULT_RSL_CAP, BaselineResult
 from repro.circuits.circuit import Circuit
-from repro.errors import CompilationError
-from repro.graphstate.resource import ResourceStateSpec
 from repro.hardware.architecture import HardwareConfig
-from repro.ir.instructions import Instruction, lower_ir
-from repro.mbqc.translate import translate_circuit
-from repro.offline.mapper import MappingResult, OfflineMapper
-from repro.online.timelike import OnlineReshaper, ReshapeMetrics
+from repro.pipeline.pipeline import Pipeline
+from repro.pipeline.result import CompilationResult
+from repro.pipeline.settings import (
+    PipelineSettings,
+    rsl_size_for,
+    virtual_size_for,
+)
 from repro.utils.rng import RandomStream
 
-#: Table 1's virtual-hardware sizing: one lattice column per circuit qubit,
-#: arranged square (4 qubits -> 2x2, 25 -> 5x5, ...).
-def virtual_size_for(num_qubits: int) -> int:
-    return max(2, math.isqrt(num_qubits) + (0 if math.isqrt(num_qubits) ** 2 == num_qubits else 1))
-
-
-#: Table 1's RSL sizing: the renormalized lattice must reach the virtual
-#: hardware size, so the RSL side is ``node_side * virtual_side``; the paper
-#: uses 12x at p = 0.90 and 24x at p = 0.75.
-def rsl_size_for(num_qubits: int, fusion_success_rate: float, node_side: int | None = None) -> int:
-    if node_side is None:
-        node_side = 12 if fusion_success_rate >= 0.85 else 24
-    return node_side * virtual_size_for(num_qubits)
-
-
-@dataclass
-class CompilationResult:
-    """Everything measured for one program compilation."""
-
-    circuit_name: str
-    num_qubits: int
-    rsl_count: int
-    fusion_count: int
-    logical_layers: int
-    mapping: MappingResult
-    reshape: ReshapeMetrics
-    offline_seconds: float
-    online_seconds: float
-    instructions: list[Instruction] = field(default_factory=list, repr=False)
-
-    @property
-    def pl_ratio(self) -> float:
-        return self.reshape.pl_ratio
-
-    @property
-    def online_seconds_per_rsl(self) -> float:
-        if self.rsl_count == 0:
-            return float("nan")
-        return self.online_seconds / self.rsl_count
+__all__ = [
+    "CompilationResult",
+    "OnePercCompiler",
+    "rsl_size_for",
+    "virtual_size_for",
+]
 
 
 class OnePercCompiler:
@@ -87,88 +50,47 @@ class OnePercCompiler:
         seed: int | None = None,
         max_rsl: int = DEFAULT_RSL_CAP,
         emit_instructions: bool = False,
+        node_side: int | None = None,
     ) -> None:
-        self.fusion_success_rate = fusion_success_rate
-        self.resource_state_size = resource_state_size
-        self.rsl_size = rsl_size
-        self.virtual_size = virtual_size
-        self.occupancy_limit = occupancy_limit
-        self.refresh_every = refresh_every
-        self.memory_budget_bytes = memory_budget_bytes
-        self.bytes_per_node_layer = bytes_per_node_layer
-        self.photon_loss_rate = photon_loss_rate
-        self.stream = RandomStream(seed)
-        self.max_rsl = max_rsl
-        self.emit_instructions = emit_instructions
+        self.settings = PipelineSettings(
+            fusion_success_rate=fusion_success_rate,
+            resource_state_size=resource_state_size,
+            rsl_size=rsl_size,
+            virtual_size=virtual_size,
+            node_side=node_side,
+            occupancy_limit=occupancy_limit,
+            refresh_every=refresh_every,
+            memory_budget_bytes=memory_budget_bytes,
+            bytes_per_node_layer=bytes_per_node_layer,
+            photon_loss_rate=photon_loss_rate,
+            max_rsl=max_rsl,
+            emit_instructions=emit_instructions,
+        )
+        self.pipeline = Pipeline(self.settings, seed=seed)
+        self.stream = RandomStream(seed)  # kept for API compatibility
+
+    def __getattr__(self, name: str):
+        # Every knob used to be a plain instance attribute; forward reads to
+        # the settings object so pre-pipeline callers keep working.
+        settings = self.__dict__.get("settings")
+        if settings is not None and name in PipelineSettings.__dataclass_fields__:
+            return getattr(settings, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     # -- configuration ------------------------------------------------------
 
     def hardware_for(self, num_qubits: int) -> tuple[HardwareConfig, int]:
         """Resolve the hardware config and virtual size for a program."""
-        virtual = self.virtual_size or virtual_size_for(num_qubits)
-        rsl = self.rsl_size or rsl_size_for(num_qubits, self.fusion_success_rate)
-        config = HardwareConfig(
-            rsl_size=rsl,
-            resource_state=ResourceStateSpec(self.resource_state_size),
-            fusion_success_rate=self.fusion_success_rate,
-            photon_loss_rate=self.photon_loss_rate,
-        )
-        return config, virtual
+        return self.settings.hardware_for(num_qubits)
 
     # -- compilation ----------------------------------------------------------
 
     def compile(self, circuit: Circuit) -> CompilationResult:
         """Full OnePerc compilation of ``circuit``; see the paper's Fig. 2."""
-        config, virtual = self.hardware_for(circuit.num_qubits)
-        pattern = translate_circuit(circuit)
-
-        mapper_kwargs = dict(
-            width=virtual,
-            occupancy_limit=self.occupancy_limit,
-            refresh_every=self.refresh_every,
-            memory_budget_bytes=self.memory_budget_bytes,
-        )
-        if self.bytes_per_node_layer is not None:
-            mapper_kwargs["bytes_per_node_layer"] = self.bytes_per_node_layer
-        offline_start = time.perf_counter()
-        mapping = OfflineMapper(**mapper_kwargs).map_pattern(pattern)
-        offline_seconds = time.perf_counter() - offline_start
-        instructions = lower_ir(mapping.ir) if self.emit_instructions else []
-
-        reshaper = OnlineReshaper(
-            config,
-            virtual_size=virtual,
-            rng=self.stream.child("online", circuit.name).generator,
-            max_rsl=self.max_rsl,
-        )
-        online_start = time.perf_counter()
-        reshape = reshaper.run(mapping.demands)
-        online_seconds = time.perf_counter() - online_start
-
-        return CompilationResult(
-            circuit_name=circuit.name,
-            num_qubits=circuit.num_qubits,
-            rsl_count=reshape.rsl_consumed,
-            fusion_count=reshape.fusions,
-            logical_layers=reshape.logical_layers,
-            mapping=mapping,
-            reshape=reshape,
-            offline_seconds=offline_seconds,
-            online_seconds=online_seconds,
-            instructions=instructions,
-        )
+        return self.pipeline.compile(circuit)
 
     def compile_baseline(self, circuit: Circuit) -> BaselineResult:
         """OneQ + repeat-until-success on the same hardware (Section 7.1)."""
-        config, _virtual = self.hardware_for(circuit.num_qubits)
-        pattern = translate_circuit(circuit)
-        try:
-            plan = plan_oneq(pattern, config)
-        except Exception as exc:  # noqa: BLE001 - surfaced as compilation failure
-            raise CompilationError(f"OneQ could not embed {circuit.name}: {exc}") from exc
-        executor = RepeatUntilSuccessExecutor(
-            config.effective_fusion_rate,
-            rsl_cap=self.max_rsl,
-            rng=self.stream.child("baseline", circuit.name).generator,
-        )
-        return executor.run(plan)
+        return self.pipeline.compile_baseline(circuit)

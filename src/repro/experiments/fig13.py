@@ -17,8 +17,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.circuits.benchmarks import make_benchmark
-from repro.compiler.driver import OnePercCompiler
 from repro.experiments.common import check_scale
+from repro.pipeline import Pipeline, PipelineSettings
 from repro.online.modular import modular_renormalize
 from repro.online.percolation import sample_lattice
 from repro.online.renormalize import renormalize
@@ -90,24 +90,28 @@ def run(scale: str = "bench", seed: int = 0) -> tuple[Fig13Result, str]:
                 (rate, rsl, suitable_node_size(rsl, rate, trials, rng))
             )
 
-    # (b) PL ratio vs program size.  Node side 12 puts the renormalization
+    # (b) PL ratio vs program size.  Node side 10 puts the renormalization
     # in the regime where per-RSL success is genuinely probabilistic (the
     # paper's PL plateau near 3 reflects that regime, not a comfortable
-    # oversized node).
-    from repro.compiler.driver import virtual_size_for
-
+    # oversized node).  One pipeline batch covers the whole sweep.
     families, qubit_counts, rate = SCALE_13B[scale]
-    for family in families:
-        for qubits in qubit_counts:
-            compiler = OnePercCompiler(
-                fusion_success_rate=rate,
-                resource_state_size=7,
-                rsl_size=10 * virtual_size_for(qubits),
-                seed=seed,
-                max_rsl=10**5,
-            )
-            compiled = compiler.compile(make_benchmark(family, qubits, seed=seed))
-            result.pl_ratios.append((family.upper(), qubits, compiled.pl_ratio))
+    pipeline = Pipeline(
+        PipelineSettings(
+            fusion_success_rate=rate,
+            resource_state_size=7,
+            node_side=10,
+            max_rsl=10**5,
+        ),
+        seed=seed,
+    )
+    sweep_cases = [
+        (family, qubits) for family in families for qubits in qubit_counts
+    ]
+    compiled_batch = pipeline.compile_many(
+        [make_benchmark(family, qubits, seed=seed) for family, qubits in sweep_cases]
+    )
+    for (family, qubits), compiled in zip(sweep_cases, compiled_batch):
+        result.pl_ratios.append((family.upper(), qubits, compiled.pl_ratio))
 
     # (c) modular vs non-modular renormalized size and work.
     rsl, node, module_counts, mi_ratios, rate_c, trials_c = SCALE_13C[scale]

@@ -12,9 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.circuits.benchmarks import make_benchmark
-from repro.compiler.driver import OnePercCompiler
 from repro.errors import ReproError
 from repro.experiments.common import BenchmarkCase, check_scale
+from repro.pipeline import Pipeline, PipelineSettings
 from repro.utils.tables import TextTable
 
 FAMILIES = ("qaoa", "qft", "rca", "vqe")
@@ -51,26 +51,20 @@ class Table2Row:
         return self.oneq_fusions / max(1, self.oneperc_fusions)
 
 
-def run_case(
-    case: BenchmarkCase,
-    fusion_rate: float,
-    rsl_cap: int,
-    node_side: int,
-    seed: int = 0,
-) -> Table2Row:
-    """One Table 2 cell: compile with OnePerc and with the OneQ baseline."""
-    circuit = make_benchmark(case.family, case.num_qubits, seed=seed)
-    from repro.compiler.driver import virtual_size_for
-
-    compiler = OnePercCompiler(
+def _pipeline_for(fusion_rate: float, rsl_cap: int, node_side: int, seed: int) -> Pipeline:
+    """One pipeline serves every benchmark of a (rate, cap, node side) group;
+    the RSL side resolves per circuit from ``node_side``."""
+    settings = PipelineSettings(
         fusion_success_rate=fusion_rate,
         resource_state_size=4,  # the main experiment's resource states
-        rsl_size=node_side * virtual_size_for(case.num_qubits),
-        seed=seed,
+        node_side=node_side,
         max_rsl=rsl_cap,
     )
-    result = compiler.compile(circuit)
-    baseline = compiler.compile_baseline(circuit)
+    return Pipeline(settings, seed=seed)
+
+
+def _row_from(case: BenchmarkCase, fusion_rate: float, result, baseline) -> Table2Row:
+    """Assemble one Table 2 row from a compiled (OnePerc, OneQ) pair."""
     return Table2Row(
         fusion_rate=fusion_rate,
         benchmark=case.label,
@@ -82,27 +76,53 @@ def run_case(
     )
 
 
-def run(scale: str = "bench", seed: int = 0) -> tuple[list[Table2Row], str]:
-    """All Table 2 rows for ``scale``; returns (rows, rendered table)."""
+def run_case(
+    case: BenchmarkCase,
+    fusion_rate: float,
+    rsl_cap: int,
+    node_side: int,
+    seed: int = 0,
+) -> Table2Row:
+    """One Table 2 cell: compile with OnePerc and with the OneQ baseline."""
+    circuit = make_benchmark(case.family, case.num_qubits, seed=seed)
+    pipeline = _pipeline_for(fusion_rate, rsl_cap, node_side, seed)
+    return _row_from(
+        case, fusion_rate, pipeline.compile(circuit), pipeline.compile_baseline(circuit)
+    )
+
+
+def run(
+    scale: str = "bench", seed: int = 0, max_workers: int | None = None
+) -> tuple[list[Table2Row], str]:
+    """All Table 2 rows for ``scale``; returns (rows, rendered table).
+
+    Each (rate, cap, node side) group runs as one ``compile_many`` batch —
+    optionally across a thread pool — instead of the old hand-rolled
+    per-cell loop; results are identical for any ``max_workers``.
+    """
     check_scale(scale)
     rows: list[Table2Row] = []
     for fusion_rate, qubit_counts, cap, node_side in SCALE_SETTINGS[scale]:
-        for qubits in qubit_counts:
-            for family in FAMILIES:
-                try:
-                    rows.append(
-                        run_case(
-                            BenchmarkCase(family, qubits),
-                            fusion_rate,
-                            cap,
-                            node_side,
-                            seed=seed,
-                        )
-                    )
-                except ReproError as exc:
-                    raise ReproError(
-                        f"Table 2 cell {family}-{qubits}@{fusion_rate}: {exc}"
-                    ) from exc
+        cases = [
+            BenchmarkCase(family, qubits)
+            for qubits in qubit_counts
+            for family in FAMILIES
+        ]
+        circuits = [
+            make_benchmark(case.family, case.num_qubits, seed=seed) for case in cases
+        ]
+        pipeline = _pipeline_for(fusion_rate, cap, node_side, seed)
+        try:
+            results = pipeline.compile_many(circuits, max_workers=max_workers)
+            baselines = pipeline.compile_many(
+                circuits, max_workers=max_workers, baseline=True
+            )
+        except ReproError as exc:
+            raise ReproError(f"Table 2 group @{fusion_rate}: {exc}") from exc
+        rows.extend(
+            _row_from(case, fusion_rate, result, baseline)
+            for case, result, baseline in zip(cases, results, baselines)
+        )
     return rows, render(rows)
 
 

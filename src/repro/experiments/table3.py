@@ -16,11 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.circuits.benchmarks import make_benchmark
-from repro.compiler.driver import virtual_size_for
 from repro.errors import MemoryBudgetExceeded
 from repro.experiments.common import check_scale
-from repro.mbqc.translate import translate_circuit
-from repro.offline.mapper import OfflineMapper
+from repro.pipeline import (
+    OfflineMapPass,
+    Pipeline,
+    PipelineSettings,
+    TranslatePass,
+    virtual_size_for,
+)
 from repro.utils.tables import TextTable
 
 FAMILIES = ("qaoa", "qft", "rca", "vqe")
@@ -73,16 +77,22 @@ def _map_layers(
     budget: int | None,
     seed: int,
 ) -> tuple[int, int]:
-    """(logical layers, peak memory bytes) for one mapping configuration."""
+    """(logical layers, peak memory bytes) for one mapping configuration.
+
+    A memory experiment needs no online pass, so the pipeline is ablated to
+    the first two stages — exactly the kind of stage surgery the pass
+    architecture exists for.
+    """
     circuit = make_benchmark(family, qubits, seed=seed)
-    pattern = translate_circuit(circuit)
-    mapper = OfflineMapper(
-        width=virtual_size_for(qubits),
+    settings = PipelineSettings(
+        virtual_size=virtual_size_for(qubits),
         refresh_every=refresh_every,
         memory_budget_bytes=budget,
         bytes_per_node_layer=BYTES_PER_NODE_LAYER,
     )
-    result = mapper.map_pattern(pattern)
+    pipeline = Pipeline(settings, passes=(TranslatePass(), OfflineMapPass()))
+    ctx = pipeline.run_circuit(circuit, seed=seed)
+    result = ctx.require("mapping")
     return result.layer_count, result.peak_memory_bytes
 
 

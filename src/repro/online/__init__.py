@@ -1,6 +1,7 @@
 """Online passes: fusion strategy, percolation, renormalization, reshaping."""
 
 from repro.online.percolation import (
+    GridComponents,
     PercolatedLattice,
     sample_lattice,
     spanning_probability,
@@ -45,6 +46,7 @@ from repro.online.autotune import (
 )
 
 __all__ = [
+    "GridComponents",
     "PercolatedLattice",
     "sample_lattice",
     "spanning_probability",

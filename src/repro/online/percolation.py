@@ -7,6 +7,16 @@ outcomes of leaf-leaf fusions.  When the fusion success probability exceeds
 the square-lattice bond percolation threshold of 1/2 [40], the lattice has a
 giant long-range-connected component — the raw material the renormalization
 pass carves into a regular grid (Section 5.1).
+
+Connectivity is computed two ways: :meth:`PercolatedLattice.components` runs
+a vectorized numpy label propagation — the primitive behind every spanning
+sweep and cluster-fraction estimate (autotuning, Figs. 13(a)/16, the
+threshold tests), which sample thousands of lattices per curve — while
+:meth:`PercolatedLattice.components_dsu` keeps the original per-bond
+union-find as the reference implementation and micro-benchmark baseline.
+Both expose the same query interface.  (The renormalization pass proper has
+its own per-strip connectivity pre-check; vectorizing that the same way is
+a ROADMAP item.)
 """
 
 from __future__ import annotations
@@ -20,6 +30,82 @@ from repro.errors import RenormalizationError
 from repro.utils.dsu import DisjointSet
 from repro.utils.gridgeom import Coord2D
 from repro.utils.rng import ensure_rng
+
+#: Label value marking dead sites in a component label grid.
+DEAD_LABEL = -1
+
+
+class GridComponents:
+    """Connected components of a grid, backed by a flat label array.
+
+    Quacks like the :class:`~repro.utils.dsu.DisjointSet` the callers were
+    written against — ``connected``, ``find``, ``largest_component``,
+    ``component_size``, ``components``, ``len`` — but every query is an
+    array lookup on the ``(N, N)`` label grid produced by the vectorized
+    flood fill, with per-component sizes precomputed by ``bincount``.
+    """
+
+    def __init__(self, labels: np.ndarray) -> None:
+        self.labels = labels
+        alive = labels[labels != DEAD_LABEL]
+        self._alive_count = int(alive.size)
+        self._sizes = (
+            np.bincount(alive, minlength=labels.size) if alive.size else np.zeros(0, int)
+        )
+
+    def __len__(self) -> int:
+        return self._alive_count
+
+    def __contains__(self, coord: Coord2D) -> bool:
+        return self.labels[coord] != DEAD_LABEL
+
+    def __iter__(self) -> Iterator[Coord2D]:
+        for row, col in np.argwhere(self.labels != DEAD_LABEL).tolist():
+            yield (row, col)
+
+    @property
+    def component_count(self) -> int:
+        """Number of disjoint components among the alive sites."""
+        return int(np.count_nonzero(self._sizes))
+
+    def find(self, coord: Coord2D) -> int:
+        """Canonical representative (root label) of ``coord``'s component."""
+        label = int(self.labels[coord])
+        if label == DEAD_LABEL:
+            raise KeyError(f"site {coord} is dead")
+        return label
+
+    def connected(self, a: Coord2D, b: Coord2D) -> bool:
+        """Whether alive sites ``a`` and ``b`` share a component."""
+        la, lb = self.labels[a], self.labels[b]
+        return la != DEAD_LABEL and la == lb
+
+    def component_size(self, coord: Coord2D) -> int:
+        """Size of the component containing ``coord``."""
+        return int(self._sizes[self.find(coord)])
+
+    def largest_component_size(self) -> int:
+        """Size of the largest component (0 if no alive sites)."""
+        return int(self._sizes.max()) if self._sizes.size else 0
+
+    def largest_component(self) -> list[Coord2D]:
+        """Sites of the largest component (empty list if no alive sites)."""
+        if not self._sizes.size or not self._sizes.any():
+            return []
+        best = int(self._sizes.argmax())
+        return [tuple(coord) for coord in np.argwhere(self.labels == best).tolist()]
+
+    def components(self) -> dict[int, list[Coord2D]]:
+        """Map each root label to the list of sites in its component."""
+        grouped: dict[int, list[Coord2D]] = {}
+        for row, col in np.argwhere(self.labels != DEAD_LABEL).tolist():
+            grouped.setdefault(int(self.labels[row, col]), []).append((row, col))
+        return grouped
+
+    def row_roots(self, row: int) -> np.ndarray:
+        """Distinct root labels present among the alive sites of ``row``."""
+        labels = self.labels[row]
+        return np.unique(labels[labels != DEAD_LABEL])
 
 
 @dataclass
@@ -73,10 +159,81 @@ class PercolatedLattice:
         if row - 1 >= 0 and self.has_bond(coord, (row - 1, col)):
             yield (row - 1, col)
 
-    def components(self) -> DisjointSet:
-        """Disjoint-set over alive sites under usable bonds."""
-        dsu: DisjointSet = DisjointSet()
+    def usable_bonds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Bond grids masked down to bonds whose both endpoints are alive."""
+        horizontal = self.horizontal & self.sites[:, :-1] & self.sites[:, 1:]
+        vertical = self.vertical & self.sites[:-1, :] & self.sites[1:, :]
+        return horizontal, vertical
+
+    def label_components(self) -> np.ndarray:
+        """Vectorized flood fill: component label per site, -1 where dead.
+
+        Min-label propagation across the usable-bond grids, interleaved with
+        pointer jumping (``labels = labels[labels]``) so chains collapse in
+        logarithmically many rounds instead of one round per lattice
+        diameter.  Labels are flat site indices; each component ends up
+        labelled by its minimum index, so the labelling is deterministic.
+        """
         n = self.size
+        flat = np.arange(n * n, dtype=np.int64)
+        labels = np.where(self.sites.ravel(), flat, DEAD_LABEL)
+        if n == 0 or not self.sites.any():
+            return labels.reshape(n, n)
+        horizontal, vertical = self.usable_bonds()
+        sentinel = n * n  # larger than any real label, inert under minimum
+        grid = np.where(self.sites, flat.reshape(n, n), sentinel)
+        while True:
+            neighbor_min = grid.copy()
+            if n > 1:
+                # Pull the smaller label across each usable bond, both ways.
+                np.minimum(
+                    neighbor_min[:, :-1],
+                    np.where(horizontal, grid[:, 1:], sentinel),
+                    out=neighbor_min[:, :-1],
+                )
+                np.minimum(
+                    neighbor_min[:, 1:],
+                    np.where(horizontal, grid[:, :-1], sentinel),
+                    out=neighbor_min[:, 1:],
+                )
+                np.minimum(
+                    neighbor_min[:-1, :],
+                    np.where(vertical, grid[1:, :], sentinel),
+                    out=neighbor_min[:-1, :],
+                )
+                np.minimum(
+                    neighbor_min[1:, :],
+                    np.where(vertical, grid[:-1, :], sentinel),
+                    out=neighbor_min[1:, :],
+                )
+            if np.array_equal(neighbor_min, grid):
+                break
+            grid = neighbor_min
+            # Pointer jumping: labels are site indices, so chasing them
+            # through the flat view compresses label chains exponentially.
+            flat_view = np.where(self.sites.ravel(), grid.ravel(), sentinel)
+            padded = np.append(flat_view, sentinel)  # sentinel maps to itself
+            while True:
+                jumped = padded[flat_view]
+                if np.array_equal(jumped, flat_view):
+                    break
+                flat_view = jumped
+                padded[: n * n] = np.where(self.sites.ravel(), flat_view, sentinel)
+            grid = np.where(self.sites, flat_view.reshape(n, n), sentinel)
+        labels = np.where(self.sites, grid, DEAD_LABEL)
+        return labels
+
+    def components(self) -> GridComponents:
+        """Connected components of alive sites under usable bonds.
+
+        The vectorized online hot path; see :meth:`components_dsu` for the
+        original union-find formulation (same partition, same interface).
+        """
+        return GridComponents(self.label_components())
+
+    def components_dsu(self) -> DisjointSet:
+        """Reference DSU over alive sites under usable bonds (pre-vectorization)."""
+        dsu: DisjointSet = DisjointSet()
         alive_rows, alive_cols = np.nonzero(self.sites)
         for row, col in zip(alive_rows.tolist(), alive_cols.tolist()):
             dsu.add((row, col))
@@ -94,10 +251,21 @@ class PercolatedLattice:
         """Size of the largest cluster over total sites (the order parameter)."""
         if self.size == 0:
             return 0.0
-        dsu = self.components()
-        if len(dsu) == 0:
-            return 0.0
-        return len(dsu.largest_component()) / (self.size * self.size)
+        return self.components().largest_component_size() / (self.size * self.size)
+
+    def spans_rows(self) -> bool:
+        """Whether one component touches both the top and bottom rows.
+
+        Intersects the root-label sets of the two edge rows — one pass over
+        ``2N`` labels instead of the old ``O(N^2)`` pairwise connectivity
+        checks.
+        """
+        if self.size == 0:
+            return False
+        components = self.components()
+        top = components.row_roots(0)
+        bottom = components.row_roots(self.size - 1)
+        return bool(np.intersect1d(top, bottom, assume_unique=True).size)
 
     def remove_site(self, coord: Coord2D) -> None:
         """Measure a site out in Z: mark it dead (used during path carving)."""
@@ -156,11 +324,5 @@ def spanning_probability(
     hits = 0
     for _ in range(trials):
         lattice = sample_lattice(size, bond_probability, rng)
-        dsu = lattice.components()
-        top = [(0, col) for col in range(size) if lattice.sites[0, col]]
-        bottom = [(size - 1, col) for col in range(size) if lattice.sites[size - 1, col]]
-        spanning = any(
-            dsu.connected(a, b) for a in top for b in bottom
-        )
-        hits += int(spanning)
+        hits += int(lattice.spans_rows())
     return hits / trials

@@ -1,0 +1,38 @@
+"""Composable compiler-pass pipeline (see ARCHITECTURE.md).
+
+The Fig. 2 flow — circuit -> MBQC pattern -> offline FlexLattice mapping ->
+online reshaping — expressed as first-class passes over a shared
+:class:`PassContext`, chained by a :class:`Pipeline` that also provides the
+batch entry point (``compile_many``) every sweep driver uses.
+"""
+
+from repro.pipeline.context import PassContext, PassTiming
+from repro.pipeline.passes import (
+    BaselinePass,
+    CompilerPass,
+    LowerIRPass,
+    OfflineMapPass,
+    OnlineReshapePass,
+    TranslatePass,
+)
+from repro.pipeline.pipeline import Pipeline, baseline_passes, default_passes
+from repro.pipeline.result import CompilationResult
+from repro.pipeline.settings import PipelineSettings, rsl_size_for, virtual_size_for
+
+__all__ = [
+    "BaselinePass",
+    "CompilationResult",
+    "CompilerPass",
+    "LowerIRPass",
+    "OfflineMapPass",
+    "OnlineReshapePass",
+    "PassContext",
+    "PassTiming",
+    "Pipeline",
+    "PipelineSettings",
+    "TranslatePass",
+    "baseline_passes",
+    "default_passes",
+    "rsl_size_for",
+    "virtual_size_for",
+]

@@ -1,0 +1,105 @@
+"""The shared state that flows through a compiler pipeline.
+
+A :class:`PassContext` is created once per compilation and threaded through
+every pass.  It carries the program being compiled, the resolved hardware
+configuration, a dictionary of named *artifacts* (the measurement pattern,
+the offline mapping, the reshape metrics, ...), deterministic child RNG
+streams, and per-pass wall-clock timings.  Passes communicate exclusively
+through artifacts — a pass never calls another pass — which is what makes
+stages insertable, reorderable, and ablatable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.errors import CompilationError
+from repro.hardware.architecture import HardwareConfig
+from repro.utils.rng import RandomStream
+
+
+@dataclass(frozen=True)
+class PassTiming:
+    """Wall-clock seconds spent inside one pass."""
+
+    name: str
+    seconds: float
+
+
+def aggregate_timings(timings: list[PassTiming]) -> dict[str, float]:
+    """Pass name -> accumulated seconds, in execution order."""
+    out: dict[str, float] = {}
+    for timing in timings:
+        out[timing.name] = out.get(timing.name, 0.0) + timing.seconds
+    return out
+
+
+@dataclass
+class PassContext:
+    """Everything a pass may read or produce during one compilation.
+
+    ``artifacts`` is the inter-pass data bus: each pass declares which keys
+    it ``requires`` and ``provides`` (see :class:`~repro.pipeline.passes.
+    CompilerPass`), and the pipeline enforces the contract before running
+    the pass.  ``options`` holds the knobs that are not part of the hardware
+    config proper (occupancy limit, refresh period, RSL cap, ...).
+    """
+
+    circuit: Circuit
+    config: HardwareConfig
+    virtual_size: int
+    stream: RandomStream
+    options: dict[str, Any] = field(default_factory=dict)
+    artifacts: dict[str, Any] = field(default_factory=dict)
+    timings: list[PassTiming] = field(default_factory=list)
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    # -- randomness ---------------------------------------------------------
+
+    def rng(self, *labels: object) -> np.random.Generator:
+        """Deterministic child generator for ``labels`` and this circuit.
+
+        Matches the legacy driver's derivation (``stream.child(label,
+        circuit.name)``) exactly, so pipeline compilations are bit-identical
+        to the pre-pipeline compiler for the same seed.
+        """
+        return self.stream.child(*labels, self.circuit.name).generator
+
+    # -- artifacts ----------------------------------------------------------
+
+    def put(self, name: str, value: Any) -> None:
+        self.artifacts[name] = value
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.artifacts.get(name, default)
+
+    def require(self, name: str) -> Any:
+        """Fetch an artifact a pass depends on, failing loudly if absent."""
+        try:
+            return self.artifacts[name]
+        except KeyError:
+            raise CompilationError(
+                f"artifact {name!r} is not available; did an earlier pass "
+                f"run? (present: {sorted(self.artifacts)})"
+            ) from None
+
+    def option(self, name: str, default: Any = None) -> Any:
+        return self.options.get(name, default)
+
+    # -- timings ------------------------------------------------------------
+
+    def record_timing(self, name: str, seconds: float) -> None:
+        self.timings.append(PassTiming(name, seconds))
+
+    def seconds_for(self, name: str) -> float:
+        """Total seconds recorded for passes named ``name`` (0.0 if none)."""
+        return sum(t.seconds for t in self.timings if t.name == name)
+
+    @property
+    def timings_by_pass(self) -> dict[str, float]:
+        """Pass name -> accumulated seconds, in execution order."""
+        return aggregate_timings(self.timings)

@@ -1,0 +1,138 @@
+"""The concrete passes of the Fig. 2 flow, as composable pipeline stages.
+
+Each pass reads and writes named artifacts on the shared
+:class:`~repro.pipeline.context.PassContext`; the ``requires``/``provides``
+tuples are the machine-checked contract the pipeline validates before the
+pass runs, which turns mis-ordered stages into immediate, explicit errors
+instead of attribute crashes deep inside a stage.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompilationError
+from repro.pipeline.context import PassContext
+
+
+class CompilerPass:
+    """Base class: a named transformation of the pass context.
+
+    Subclasses set ``name`` (used for timing entries and diagnostics),
+    ``requires`` (artifact keys that must exist before the pass runs) and
+    ``provides`` (keys the pass is expected to create), and implement
+    :meth:`run`.
+    """
+
+    name: str = "pass"
+    requires: tuple[str, ...] = ()
+    provides: tuple[str, ...] = ()
+
+    def run(self, ctx: PassContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class TranslatePass(CompilerPass):
+    """Circuit -> {J, CZ} -> measurement pattern (Section 3)."""
+
+    name = "translate"
+    provides = ("pattern",)
+
+    def run(self, ctx: PassContext) -> None:
+        from repro.mbqc.translate import translate_circuit
+
+        ctx.put("pattern", translate_circuit(ctx.circuit))
+
+
+class OfflineMapPass(CompilerPass):
+    """Measurement pattern -> FlexLattice IR mapping (Section 6.2)."""
+
+    name = "offline-map"
+    requires = ("pattern",)
+    provides = ("mapping",)
+
+    def run(self, ctx: PassContext) -> None:
+        from repro.offline.mapper import OfflineMapper
+
+        kwargs = dict(
+            width=ctx.virtual_size,
+            occupancy_limit=ctx.option("occupancy_limit", 0.25),
+            refresh_every=ctx.option("refresh_every"),
+            memory_budget_bytes=ctx.option("memory_budget_bytes"),
+        )
+        bytes_per_node_layer = ctx.option("bytes_per_node_layer")
+        if bytes_per_node_layer is not None:
+            kwargs["bytes_per_node_layer"] = bytes_per_node_layer
+        mapping = OfflineMapper(**kwargs).map_pattern(ctx.require("pattern"))
+        ctx.put("mapping", mapping)
+        ctx.metrics["logical_layers_mapped"] = mapping.layer_count
+        ctx.metrics["peak_memory_bytes"] = mapping.peak_memory_bytes
+
+
+class LowerIRPass(CompilerPass):
+    """FlexLattice IR -> intermediate-level instruction stream (Section 6.3).
+
+    Lowering is skipped (an empty stream is recorded) unless the
+    ``emit_instructions`` option asks for it — the instruction list is
+    bulky and only the hardware-facing consumers need it.
+    """
+
+    name = "lower-ir"
+    requires = ("mapping",)
+    provides = ("instructions",)
+
+    def run(self, ctx: PassContext) -> None:
+        from repro.ir.instructions import lower_ir
+
+        if ctx.option("emit_instructions", False):
+            ctx.put("instructions", lower_ir(ctx.require("mapping").ir))
+        else:
+            ctx.put("instructions", [])
+
+
+class OnlineReshapePass(CompilerPass):
+    """Streamed RSLs -> logical layers via percolation reshaping (Section 5)."""
+
+    name = "online-reshape"
+    requires = ("mapping",)
+    provides = ("reshape",)
+
+    def run(self, ctx: PassContext) -> None:
+        from repro.online.timelike import OnlineReshaper
+
+        reshaper = OnlineReshaper(
+            ctx.config,
+            virtual_size=ctx.virtual_size,
+            rng=ctx.rng("online"),
+            max_rsl=ctx.option("max_rsl", 10**6),
+        )
+        reshape = reshaper.run(ctx.require("mapping").demands)
+        ctx.put("reshape", reshape)
+        ctx.metrics["rsl_count"] = reshape.rsl_consumed
+        ctx.metrics["fusion_count"] = reshape.fusions
+
+
+class BaselinePass(CompilerPass):
+    """OneQ + repeat-until-success on the same hardware (Section 7.1)."""
+
+    name = "baseline"
+    requires = ("pattern",)
+    provides = ("baseline",)
+
+    def run(self, ctx: PassContext) -> None:
+        from repro.baseline.oneq import plan_oneq
+        from repro.baseline.retry import RepeatUntilSuccessExecutor
+
+        try:
+            plan = plan_oneq(ctx.require("pattern"), ctx.config)
+        except Exception as exc:  # noqa: BLE001 - surfaced as compilation failure
+            raise CompilationError(
+                f"OneQ could not embed {ctx.circuit.name}: {exc}"
+            ) from exc
+        executor = RepeatUntilSuccessExecutor(
+            ctx.config.effective_fusion_rate,
+            rsl_cap=ctx.option("max_rsl", 10**6),
+            rng=ctx.rng("baseline"),
+        )
+        ctx.put("baseline", executor.run(plan))

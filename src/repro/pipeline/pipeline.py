@@ -1,0 +1,160 @@
+"""The pass pipeline: ordered stages over a shared context, plus batch runs.
+
+``Pipeline`` is the composition point of the compiler: a
+:class:`~repro.pipeline.settings.PipelineSettings` (the knobs), an ordered
+pass list (the stages), and the machinery that stamps out one
+:class:`~repro.pipeline.context.PassContext` per compilation, validates each
+pass's artifact contract, and times every stage.  ``compile_many`` fans a
+sweep of (circuit, seed) jobs over a thread pool; determinism is preserved
+because each job derives its own RNG streams from its seed and circuit name
+— execution order never feeds the randomness.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.baseline.retry import BaselineResult
+from repro.circuits.circuit import Circuit
+from repro.errors import CompilationError
+from repro.pipeline.context import PassContext
+from repro.pipeline.passes import (
+    BaselinePass,
+    CompilerPass,
+    LowerIRPass,
+    OfflineMapPass,
+    OnlineReshapePass,
+    TranslatePass,
+)
+from repro.pipeline.result import CompilationResult
+from repro.pipeline.settings import PipelineSettings
+
+
+def default_passes() -> tuple[CompilerPass, ...]:
+    """The paper's Fig. 2 flow as a pass chain."""
+    return (TranslatePass(), OfflineMapPass(), LowerIRPass(), OnlineReshapePass())
+
+
+def baseline_passes() -> tuple[CompilerPass, ...]:
+    """The OneQ repeat-until-success comparison flow."""
+    return (TranslatePass(), BaselinePass())
+
+
+class Pipeline:
+    """A compiler: settings + an ordered pass chain.
+
+    The default chain reproduces the end-to-end OnePerc compiler; custom
+    chains ablate or extend it (e.g. the memory experiments run only
+    ``TranslatePass -> OfflineMapPass``).
+    """
+
+    def __init__(
+        self,
+        settings: PipelineSettings | None = None,
+        passes: Sequence[CompilerPass] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.settings = settings or PipelineSettings()
+        self.passes: tuple[CompilerPass, ...] = (
+            tuple(passes) if passes is not None else default_passes()
+        )
+        self.seed = seed
+
+    # -- core execution -----------------------------------------------------
+
+    def run(self, ctx: PassContext) -> PassContext:
+        """Run every pass over ``ctx``, enforcing contracts and timing each."""
+        for stage in self.passes:
+            missing = [key for key in stage.requires if key not in ctx.artifacts]
+            if missing:
+                raise CompilationError(
+                    f"pass {stage.name!r} requires artifacts {missing} that no "
+                    f"earlier pass provided (present: {sorted(ctx.artifacts)})"
+                )
+            start = time.perf_counter()
+            stage.run(ctx)
+            ctx.record_timing(stage.name, time.perf_counter() - start)
+            for key in stage.provides:
+                if key not in ctx.artifacts:
+                    raise CompilationError(
+                        f"pass {stage.name!r} promised artifact {key!r} but "
+                        "did not produce it"
+                    )
+        return ctx
+
+    def run_circuit(self, circuit: Circuit, seed: int | None = None) -> PassContext:
+        """Build a fresh context for ``circuit`` and run the chain over it."""
+        ctx = self.settings.context_for(circuit, self._seed_for(seed))
+        return self.run(ctx)
+
+    def _seed_for(self, seed: int | None) -> int | None:
+        return self.seed if seed is None else seed
+
+    # -- one-shot entry points ---------------------------------------------
+
+    def compile(self, circuit: Circuit, seed: int | None = None) -> CompilationResult:
+        """Full OnePerc compilation of ``circuit``; see the paper's Fig. 2."""
+        ctx = self.run_circuit(circuit, seed)
+        reshape = ctx.require("reshape")
+        return CompilationResult(
+            circuit_name=circuit.name,
+            num_qubits=circuit.num_qubits,
+            rsl_count=reshape.rsl_consumed,
+            fusion_count=reshape.fusions,
+            logical_layers=reshape.logical_layers,
+            mapping=ctx.require("mapping"),
+            reshape=reshape,
+            offline_seconds=ctx.seconds_for(OfflineMapPass.name),
+            online_seconds=ctx.seconds_for(OnlineReshapePass.name),
+            instructions=ctx.get("instructions", []),
+            pass_timings=list(ctx.timings),
+        )
+
+    def compile_baseline(self, circuit: Circuit, seed: int | None = None) -> BaselineResult:
+        """OneQ + repeat-until-success on the same hardware (Section 7.1)."""
+        ctx = self.settings.context_for(circuit, self._seed_for(seed))
+        Pipeline(self.settings, baseline_passes()).run(ctx)
+        return ctx.require("baseline")
+
+    # -- batch execution ----------------------------------------------------
+
+    def compile_many(
+        self,
+        circuits: Iterable[Circuit],
+        seeds: int | Sequence[int | None] | None = None,
+        max_workers: int | None = None,
+        baseline: bool = False,
+    ) -> list[CompilationResult] | list[BaselineResult]:
+        """Compile a batch of circuits, optionally across a thread pool.
+
+        ``seeds`` is either one root seed shared by every job (each job's
+        streams stay independent because they are keyed by circuit name) or
+        a per-circuit sequence.  Results come back in input order and are
+        identical for any ``max_workers`` — the per-job RNG derivation never
+        sees the scheduler.
+        """
+        jobs = list(circuits)
+        if seeds is None or isinstance(seeds, int):
+            job_seeds: list[int | None] = [seeds] * len(jobs)  # type: ignore[list-item]
+        else:
+            job_seeds = list(seeds)
+            if len(job_seeds) != len(jobs):
+                raise CompilationError(
+                    f"{len(jobs)} circuits but {len(job_seeds)} seeds supplied"
+                )
+        one = self.compile_baseline if baseline else self.compile
+
+        def runner(circuit: Circuit, seed: int | None):
+            # Batch failures must name their job: a sweep of dozens of
+            # circuits is undebuggable from a bare per-pass exception.
+            try:
+                return one(circuit, seed)
+            except Exception as exc:
+                raise CompilationError(f"compiling {circuit.name}: {exc}") from exc
+
+        if max_workers is None or max_workers <= 1:
+            return [runner(circuit, seed) for circuit, seed in zip(jobs, job_seeds)]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(runner, jobs, job_seeds))

@@ -1,0 +1,46 @@
+"""The compilation result record (moved here from ``repro.compiler.driver``).
+
+Kept import-compatible: ``repro.compiler`` re-exports it, so downstream code
+can keep importing from either place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import Instruction
+from repro.offline.mapper import MappingResult
+from repro.online.timelike import ReshapeMetrics
+from repro.pipeline.context import PassTiming, aggregate_timings
+
+
+@dataclass
+class CompilationResult:
+    """Everything measured for one program compilation."""
+
+    circuit_name: str
+    num_qubits: int
+    rsl_count: int
+    fusion_count: int
+    logical_layers: int
+    mapping: MappingResult
+    reshape: ReshapeMetrics
+    offline_seconds: float
+    online_seconds: float
+    instructions: list[Instruction] = field(default_factory=list, repr=False)
+    pass_timings: list[PassTiming] = field(default_factory=list, repr=False)
+
+    @property
+    def pl_ratio(self) -> float:
+        return self.reshape.pl_ratio
+
+    @property
+    def online_seconds_per_rsl(self) -> float:
+        if self.rsl_count == 0:
+            return float("nan")
+        return self.online_seconds / self.rsl_count
+
+    @property
+    def timings_by_pass(self) -> dict[str, float]:
+        """Pass name -> seconds, for reports and the CLI's ``--json``."""
+        return aggregate_timings(self.pass_timings)

@@ -1,0 +1,245 @@
+"""Tests for the composable compiler-pass pipeline.
+
+Covers the golden parity between ``Pipeline`` and the legacy
+``OnePercCompiler`` facade, the pass ordering / artifact contract, batch
+compilation determinism under thread workers, per-pass timings, and the
+vectorized ``components()`` hot path against its union-find reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import make_benchmark
+from repro.compiler import OnePercCompiler
+from repro.errors import CompilationError
+from repro.online.percolation import sample_lattice
+from repro.pipeline import (
+    BaselinePass,
+    CompilerPass,
+    LowerIRPass,
+    OfflineMapPass,
+    OnlineReshapePass,
+    PassContext,
+    Pipeline,
+    PipelineSettings,
+    TranslatePass,
+    default_passes,
+)
+
+SETTINGS = PipelineSettings(fusion_success_rate=0.75, max_rsl=10**5)
+
+
+class TestGoldenParity:
+    """Pipeline and facade must agree bit-for-bit for the same seed."""
+
+    @pytest.mark.parametrize("family", ["qaoa", "qft", "vqe"])
+    def test_compile_metrics_identical(self, family):
+        circuit = make_benchmark(family, 4, seed=1)
+        via_pipeline = Pipeline(SETTINGS, seed=9).compile(circuit)
+        via_facade = OnePercCompiler(
+            fusion_success_rate=0.75, seed=9, max_rsl=10**5
+        ).compile(circuit)
+        assert via_pipeline.rsl_count == via_facade.rsl_count
+        assert via_pipeline.fusion_count == via_facade.fusion_count
+        assert via_pipeline.pl_ratio == via_facade.pl_ratio
+        assert via_pipeline.logical_layers == via_facade.logical_layers
+
+    def test_baseline_metrics_identical(self):
+        circuit = make_benchmark("vqe", 4, seed=1)
+        settings = PipelineSettings(fusion_success_rate=0.9, max_rsl=10**4)
+        via_pipeline = Pipeline(settings, seed=3).compile_baseline(circuit)
+        via_facade = OnePercCompiler(
+            fusion_success_rate=0.9, seed=3, max_rsl=10**4
+        ).compile_baseline(circuit)
+        assert via_pipeline.rsl_count == via_facade.rsl_count
+        assert via_pipeline.fusion_count == via_facade.fusion_count
+        assert via_pipeline.restarts == via_facade.restarts
+
+
+class TestFacadeCompatibility:
+    def test_legacy_attributes_still_readable(self):
+        compiler = OnePercCompiler(
+            fusion_success_rate=0.9, rsl_size=24, refresh_every=5, seed=1
+        )
+        assert compiler.fusion_success_rate == 0.9
+        assert compiler.rsl_size == 24
+        assert compiler.refresh_every == 5
+        assert compiler.virtual_size is None
+        assert compiler.occupancy_limit == 0.25
+        assert compiler.photon_loss_rate == 0.0
+        assert compiler.emit_instructions is False
+        assert compiler.max_rsl > 0
+        with pytest.raises(AttributeError):
+            compiler.not_a_knob
+
+
+class TestPassContracts:
+    def test_default_pass_order(self):
+        names = [stage.name for stage in default_passes()]
+        assert names == ["translate", "offline-map", "lower-ir", "online-reshape"]
+
+    def test_missing_artifact_rejected_before_pass_runs(self):
+        """Reordered stages fail loudly at the contract check."""
+        pipeline = Pipeline(SETTINGS, passes=(OnlineReshapePass(), TranslatePass()))
+        with pytest.raises(CompilationError, match="requires artifacts"):
+            pipeline.run_circuit(make_benchmark("qaoa", 4, seed=0), seed=0)
+
+    def test_broken_promise_rejected(self):
+        class LyingPass(CompilerPass):
+            name = "liar"
+            provides = ("unicorn",)
+
+            def run(self, ctx: PassContext) -> None:
+                pass
+
+        pipeline = Pipeline(SETTINGS, passes=(LyingPass(),))
+        with pytest.raises(CompilationError, match="promised artifact"):
+            pipeline.run_circuit(make_benchmark("qaoa", 4, seed=0), seed=0)
+
+    def test_artifacts_flow_between_passes(self):
+        captured = {}
+
+        class ProbePass(CompilerPass):
+            name = "probe"
+            requires = ("pattern", "mapping")
+
+            def run(self, ctx: PassContext) -> None:
+                captured["pattern"] = ctx.require("pattern")
+                captured["mapping"] = ctx.require("mapping")
+
+        pipeline = Pipeline(
+            SETTINGS, passes=(TranslatePass(), OfflineMapPass(), ProbePass())
+        )
+        ctx = pipeline.run_circuit(make_benchmark("qaoa", 4, seed=0), seed=0)
+        assert captured["pattern"] is ctx.artifacts["pattern"]
+        assert captured["mapping"] is ctx.artifacts["mapping"]
+        assert captured["mapping"].layer_count > 0
+
+    def test_ablated_pipeline_runs_offline_only(self):
+        pipeline = Pipeline(SETTINGS, passes=(TranslatePass(), OfflineMapPass()))
+        ctx = pipeline.run_circuit(make_benchmark("qaoa", 4, seed=0), seed=0)
+        assert "mapping" in ctx.artifacts
+        assert "reshape" not in ctx.artifacts
+
+    def test_instructions_gated_by_option(self):
+        with_ir = Pipeline(
+            PipelineSettings(max_rsl=10**5, emit_instructions=True), seed=1
+        ).compile(make_benchmark("qaoa", 4, seed=1))
+        without = Pipeline(
+            PipelineSettings(max_rsl=10**5), seed=1
+        ).compile(make_benchmark("qaoa", 4, seed=1))
+        assert len(with_ir.instructions) > 0
+        assert without.instructions == []
+        assert with_ir.rsl_count == without.rsl_count  # lowering never perturbs RNG
+
+
+class TestTimings:
+    def test_every_pass_timed(self):
+        result = Pipeline(SETTINGS, seed=2).compile(make_benchmark("qaoa", 4, seed=2))
+        names = [timing.name for timing in result.pass_timings]
+        assert names == ["translate", "offline-map", "lower-ir", "online-reshape"]
+        assert all(timing.seconds >= 0.0 for timing in result.pass_timings)
+        assert result.offline_seconds == result.timings_by_pass["offline-map"]
+        assert result.online_seconds == result.timings_by_pass["online-reshape"]
+        assert result.online_seconds > 0
+
+
+class TestCompileMany:
+    CIRCUITS = [
+        make_benchmark("qaoa", 4, seed=5),
+        make_benchmark("qft", 4, seed=5),
+        make_benchmark("vqe", 4, seed=5),
+        make_benchmark("rca", 4, seed=5),
+    ]
+
+    @staticmethod
+    def _metrics(results):
+        return [(r.rsl_count, r.fusion_count, r.logical_layers) for r in results]
+
+    def test_workers_do_not_change_results(self):
+        pipeline = Pipeline(SETTINGS, seed=5)
+        sequential = pipeline.compile_many(self.CIRCUITS)
+        threaded = pipeline.compile_many(self.CIRCUITS, max_workers=4)
+        assert self._metrics(sequential) == self._metrics(threaded)
+
+    def test_matches_single_compiles(self):
+        pipeline = Pipeline(SETTINGS, seed=5)
+        batch = pipeline.compile_many(self.CIRCUITS, max_workers=3)
+        singles = [pipeline.compile(circuit) for circuit in self.CIRCUITS]
+        assert self._metrics(batch) == self._metrics(singles)
+
+    def test_per_circuit_seeds(self):
+        pipeline = Pipeline(SETTINGS)
+        seeded = pipeline.compile_many(self.CIRCUITS[:2], seeds=[1, 2], max_workers=2)
+        assert self._metrics(seeded) == self._metrics(
+            [pipeline.compile(c, seed=s) for c, s in zip(self.CIRCUITS[:2], (1, 2))]
+        )
+
+    def test_seed_count_mismatch_rejected(self):
+        with pytest.raises(CompilationError, match="seeds"):
+            Pipeline(SETTINGS).compile_many(self.CIRCUITS, seeds=[1])
+
+    def test_failures_name_the_job(self):
+        # max_rsl=1 cannot satisfy any demand; the error must say which
+        # circuit of the batch died.
+        pipeline = Pipeline(PipelineSettings(max_rsl=1), seed=0)
+        with pytest.raises(CompilationError, match="qaoa-4"):
+            pipeline.compile_many(self.CIRCUITS[:1])
+
+    def test_baseline_batch(self):
+        pipeline = Pipeline(
+            PipelineSettings(fusion_success_rate=0.9, max_rsl=10**4), seed=0
+        )
+        results = pipeline.compile_many(
+            self.CIRCUITS[:2], max_workers=2, baseline=True
+        )
+        assert all(r.rsl_count > 0 for r in results)
+
+
+class TestVectorizedComponents:
+    """The numpy flood fill must agree exactly with the union-find oracle."""
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_partition_parity_random_lattices(self, trial):
+        rng = np.random.default_rng(trial)
+        size = int(rng.integers(1, 24))
+        alive = rng.random((size, size)) < 0.85
+        lattice = sample_lattice(size, float(rng.random()), rng, site_alive=alive)
+        fast = lattice.components()
+        slow = lattice.components_dsu()
+        assert len(fast) == len(slow)
+        assert fast.component_count == slow.component_count
+        fast_parts = {frozenset(sites) for sites in fast.components().values()}
+        slow_parts = {frozenset(sites) for sites in slow.components().values()}
+        assert fast_parts == slow_parts
+        assert sorted(map(len, (fast.largest_component(),))) == sorted(
+            map(len, (slow.largest_component(),))
+        )
+
+    def test_connected_queries(self):
+        lattice = sample_lattice(8, 1.0, rng=0)
+        components = lattice.components()
+        assert components.connected((0, 0), (7, 7))
+        lattice.remove_site((0, 1))
+        lattice.remove_site((1, 0))
+        isolated = lattice.components()
+        assert not isolated.connected((0, 0), (7, 7))
+        assert isolated.component_size((7, 7)) == 61  # 64 - 2 dead - isolated corner
+
+    def test_dead_site_queries(self):
+        alive = np.ones((3, 3), dtype=bool)
+        alive[1, 1] = False
+        lattice = sample_lattice(3, 1.0, rng=0, site_alive=alive)
+        components = lattice.components()
+        assert (1, 1) not in components
+        with pytest.raises(KeyError):
+            components.find((1, 1))
+
+    def test_spans_rows_matches_pairwise_definition(self):
+        for seed in range(12):
+            lattice = sample_lattice(10, 0.5, rng=seed)
+            dsu = lattice.components_dsu()
+            top = [(0, c) for c in range(10) if lattice.sites[0, c]]
+            bottom = [(9, c) for c in range(10) if lattice.sites[9, c]]
+            brute = any(dsu.connected(a, b) for a in top for b in bottom)
+            assert lattice.spans_rows() == brute

@@ -109,6 +109,46 @@ class TestCli:
         assert code == 0
         assert "layer 0" in output
 
+    def test_compile_json_output(self, capsys):
+        import json
+
+        code = main(
+            [
+                "compile",
+                "--benchmark", "qaoa",
+                "--qubits", "4",
+                "--rate", "0.9",
+                "--rsl-size", "24",
+                "--max-rsl", "100000",
+                "--json",
+            ]
+        )
+        record = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert record["rsl_count"] > 0
+        assert set(record["pass_timings"]) == {
+            "translate", "offline-map", "lower-ir", "online-reshape"
+        }
+
+    def test_baseline_json_output(self, capsys):
+        import json
+
+        code = main(
+            [
+                "baseline",
+                "--benchmark", "vqe",
+                "--qubits", "4",
+                "--rate", "0.9",
+                "--rsl-size", "24",
+                "--max-rsl", "5000",
+                "--json",
+            ]
+        )
+        record = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert record["command"] == "baseline"
+        assert record["rsl_count"] > 0
+
     def test_baseline_command(self, capsys):
         code = main(
             [
