@@ -1,0 +1,41 @@
+"""Regenerate the golden bench-scale record snapshots.
+
+Run:  PYTHONPATH=src python benchmarks/golden/regenerate.py [name ...]
+
+Each snapshot is the canonical (deterministic) portion of one experiment's
+bench-scale records at seed 0, produced by the serial runner.  The
+regeneration benches assert the serial runner still reproduces these bytes;
+the determinism bench asserts the thread and process runners do too.  Only
+regenerate after an *intentional* change to an experiment's parameters or
+record schema, and say so in the commit.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import EXPERIMENT_REGISTRY
+
+GOLDEN_DIR = Path(__file__).parent
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(EXPERIMENT_REGISTRY)
+    for name in names:
+        experiment = EXPERIMENT_REGISTRY[name]
+        start = time.perf_counter()
+        result = experiment.run("bench", seed=0)
+        payload = {
+            "experiment": name,
+            "scale": "bench",
+            "seed": 0,
+            "records": [record.canonical() for record in result.records],
+        }
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"{name}: {len(result.records)} records, {time.perf_counter() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Determinism suite: every runner backend reproduces the golden records.
+
+For each registered experiment, the bench-scale run is executed on the
+thread and process runners (with per-experiment worker counts, so several
+pool widths are exercised across the suite) and the canonical records are
+asserted byte-identical to the checked-in golden snapshots — which the
+regeneration benches already hold the *serial* runner to.  Together that is
+the paper-level guarantee: scale/seed fix the records; the backend and the
+worker count are pure wall-clock knobs.
+"""
+
+import pytest
+
+from golden_records import assert_matches_golden
+
+from repro.experiments import experiment_names, get_experiment, make_runner
+
+#: Worker counts per experiment — deliberately varied so the suite covers
+#: single-worker pools, odd widths, and more workers than jobs-per-group.
+WORKER_COUNTS = {
+    "table2": (2, 3),
+    "table3": (3, 2),
+    "fig12": (4, 2),
+    "fig13": (2, 4),
+    "fig14": (3, 3),
+    "fig15": (1, 4),
+    "fig16": (4, 3),
+    "loss": (2, 2),
+}
+
+
+@pytest.mark.parametrize("name", experiment_names())
+def test_thread_runner_matches_golden(name, once):
+    # .get: an experiment registered after this table still gets covered.
+    thread_workers, _ = WORKER_COUNTS.get(name, (2, 2))
+    runner = make_runner("thread", max_workers=thread_workers)
+    result = once(get_experiment(name).run, "bench", 0, runner)
+    assert result.runner == "thread"
+    assert_matches_golden(name, result.records)
+
+
+@pytest.mark.parametrize("name", experiment_names())
+def test_process_runner_matches_golden(name, once):
+    _, process_workers = WORKER_COUNTS.get(name, (2, 2))
+    runner = make_runner("process", max_workers=process_workers)
+    result = once(get_experiment(name).run, "bench", 0, runner)
+    assert result.runner == "process"
+    assert_matches_golden(name, result.records)

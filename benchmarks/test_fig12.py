@@ -4,23 +4,30 @@ Shape claims: #RSL decreases (a) from 4- to 7-qubit resource states, (b) as
 the RSL grows, (c) as the fusion success rate rises.
 """
 
-from repro.experiments import fig12
+from golden_records import assert_matches_golden
+
+from repro.experiments import run_experiment
 
 
-def _panel(points, panel, benchmark):
-    series = [(p.x, p.rsl_count) for p in points if p.panel == panel and p.benchmark == benchmark]
+def _panel(records, panel, benchmark):
+    series = [
+        (record.fields["x"], record.fields["rsl_count"])
+        for record in records
+        if record.fields["panel"] == panel and record.fields["benchmark"] == benchmark
+    ]
     return [count for _x, count in sorted(series)]
 
 
 def test_fig12_regeneration(once):
-    points, text = once(fig12.run, "bench")
-    print("\n" + text)
+    result = once(run_experiment, "fig12", "bench")
+    print("\n" + result.text)
+    assert_matches_golden("fig12", result.records)
 
-    benchmarks = {p.benchmark for p in points}
+    benchmarks = {record.fields["benchmark"] for record in result.records}
     for benchmark in benchmarks:
-        a = _panel(points, "a", benchmark)
+        a = _panel(result.records, "a", benchmark)
         assert a[-1] < a[0], f"(a) {benchmark}: 7-qubit stars should beat 4-qubit"
-        b = _panel(points, "b", benchmark)
+        b = _panel(result.records, "b", benchmark)
         assert b[-1] <= b[0], f"(b) {benchmark}: larger RSLs should not cost more"
-        c = _panel(points, "c", benchmark)
+        c = _panel(result.records, "c", benchmark)
         assert c[-1] <= c[0], f"(c) {benchmark}: higher rates should not cost more"

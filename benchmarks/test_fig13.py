@@ -2,39 +2,52 @@
 
 Shape claims: the suitable node size stays within a narrow band across RSL
 sizes and shrinks (weakly) with the fusion rate; the PL ratio grows with
-program size toward a plateau; modular renormalization trades ~40 % of the
+program size toward a plateau; modular renormalization trades part of the
 unlimited-time yield for a multiple of the time-restricted yield.
 """
 
-from repro.experiments import fig13
+from golden_records import assert_matches_golden
+
+from repro.experiments import run_experiment
 
 
 def test_fig13_regeneration(once):
-    result, text = once(fig13.run, "bench")
-    print("\n" + text)
+    result = once(run_experiment, "fig13", "bench")
+    print("\n" + result.text)
+    assert_matches_golden("fig13", result.records)
 
     # (a) stability: within each rate, node sizes span a narrow band.
     by_rate: dict[float, list[int]] = {}
-    for rate, _rsl, node in result.suitable_node_sizes:
-        by_rate.setdefault(rate, []).append(node)
+    for record in result.records:
+        if record.fields.get("panel") == "a":
+            by_rate.setdefault(record.fields["fusion_rate"], []).append(
+                record.fields["node_side"]
+            )
     for rate, nodes in by_rate.items():
         assert max(nodes) - min(nodes) <= 10, f"node size unstable at p={rate}"
     assert min(by_rate[0.78]) <= min(by_rate[0.66])
 
     # (b) PL ratio: positive, and weakly growing with program size.
     by_family: dict[str, list[float]] = {}
-    for family, _qubits, ratio in result.pl_ratios:
-        by_family.setdefault(family, []).append(ratio)
+    for record in result.records:
+        if record.fields.get("panel") == "b":
+            by_family.setdefault(record.fields["benchmark"], []).append(
+                record.fields["pl_ratio"]
+            )
     for family, ratios in by_family.items():
         assert all(r >= 1.0 for r in ratios)
         assert ratios[-1] >= ratios[0] * 0.9
 
     # (c) modularity: below unlimited non-modular, above restricted.
-    nodes = {label: count for label, count, _wall in result.modularity}
+    nodes = {
+        record.fields["setting"]: record.fields["nodes_mean"]
+        for record in result.records
+        if record.fields.get("panel") == "c"
+    }
     unlimited = nodes["non-modular (unlimited)"]
     restricted = nodes["non-modular (restricted)"]
     best_modular = max(
-        count for label, count, _w in result.modularity if label.startswith("modules=")
+        count for label, count in nodes.items() if label.startswith("modules=")
     )
     assert best_modular <= unlimited
     assert best_modular > restricted

@@ -1,34 +1,48 @@
 """Bench: regenerate Fig. 14 (online time per RSL).
 
 Shape claims: per-RSL online time is flat in program size, grows with RSL
-size, and modularity cuts the (concurrent) wall work substantially.
+size, and modularity cuts the (concurrent) wall work substantially.  The
+wall-clock columns live in the records' timings; the golden comparison
+covers only the deterministic fields.
 """
 
-from repro.experiments import fig14
+from golden_records import assert_matches_golden
+
+from repro.experiments import run_experiment
+from repro.experiments.fig14 import seconds_per_rsl
 
 
 def test_fig14_regeneration(once):
-    result, text = once(fig14.run, "bench")
-    print("\n" + text)
+    result = once(run_experiment, "fig14", "bench")
+    print("\n" + result.text)
+    assert_matches_golden("fig14", result.records)
 
     # (a) flat in program size: max/min within a small factor.
-    seconds = [s for _label, s in result.per_program]
+    seconds = [
+        seconds_per_rsl(record)
+        for record in result.records
+        if record.fields.get("panel") == "a"
+    ]
+    assert seconds
     assert max(seconds) <= 4 * min(seconds)
 
     # (b) grows with RSL size (non-modular series) ...
+    panel_b = [
+        record.fields for record in result.records if record.fields.get("panel") == "b"
+    ]
     non_modular = sorted(
-        (rsl, wall)
-        for rsl, modules, _s, wall in result.per_rsl_size
-        if modules == 1
+        (fields["rsl_size"], fields["visited_per_attempt"])
+        for fields in panel_b
+        if fields["modules"] == 1
     )
     assert non_modular[-1][1] > non_modular[0][1]
 
     # ... and modularity reduces wall work at the largest size.
-    largest = max(rsl for rsl, _m, _s, _w in result.per_rsl_size)
+    largest = max(fields["rsl_size"] for fields in panel_b)
     walls = {
-        modules: wall
-        for rsl, modules, _s, wall in result.per_rsl_size
-        if rsl == largest
+        fields["modules"]: fields["visited_per_attempt"]
+        for fields in panel_b
+        if fields["rsl_size"] == largest
     }
     assert walls[16] < walls[1]
     assert walls[4] < walls[1]

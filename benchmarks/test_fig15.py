@@ -5,23 +5,32 @@ length the *layer count* falls monotonically while wall time stays within a
 band (the U-shape's two competing forces).
 """
 
-from repro.experiments import fig15
+from golden_records import assert_matches_golden
+
+from repro.experiments import run_experiment
 
 
 def test_fig15_regeneration(once):
-    result, text = once(fig15.run, "bench")
-    print("\n" + text)
+    result = once(run_experiment, "fig15", "bench")
+    print("\n" + result.text)
+    assert_matches_golden("fig15", result.records)
 
     by_family: dict[str, list[tuple[int, float]]] = {}
-    for family, qubits, seconds in result.by_program_size:
-        by_family.setdefault(family, []).append((qubits, seconds))
+    for record in result.records:
+        if record.fields["panel"] == "a":
+            by_family.setdefault(record.fields["benchmark"], []).append(
+                (record.fields["num_qubits"], record.timings["offline_seconds"])
+            )
     for family, series in by_family.items():
         series.sort()
         assert series[-1][1] > series[0][1], f"{family}: time should grow with size"
 
     layers_by_width: dict[str, list[tuple[int, int]]] = {}
-    for family, width, _seconds, layers in result.by_virtual_size:
-        layers_by_width.setdefault(family, []).append((width, layers))
+    for record in result.records:
+        if record.fields["panel"] == "b":
+            layers_by_width.setdefault(record.fields["benchmark"], []).append(
+                (record.fields["virtual_length"], record.fields["logical_layers"])
+            )
     for family, series in layers_by_width.items():
         series.sort()
         assert series[-1][1] < series[0][1], f"{family}: layers should fall with width"

@@ -4,17 +4,20 @@ Shape claims: for each fusion rate the success curve is (noisily) increasing
 in the node side and saturates near 1; higher rates saturate earlier.
 """
 
-from repro.experiments import fig16
+from golden_records import assert_matches_golden
+
+from repro.experiments import run_experiment
 
 
 def test_fig16_regeneration(once):
-    points, text = once(fig16.run, "bench")
-    print("\n" + text)
+    result = once(run_experiment, "fig16", "bench")
+    print("\n" + result.text)
+    assert_matches_golden("fig16", result.records)
 
     by_rate: dict[float, list[tuple[int, float]]] = {}
-    for point in points:
-        by_rate.setdefault(point.fusion_rate, []).append(
-            (point.node_side, point.success_rate)
+    for record in result.records:
+        by_rate.setdefault(record.fields["fusion_rate"], []).append(
+            (record.fields["node_side"], record.fields["success_rate"])
         )
     for rate, series in by_rate.items():
         series.sort()

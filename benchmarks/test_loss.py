@@ -4,19 +4,24 @@ Shape claims: loss scales the effective fusion rate by (1-l)^2 and #RSL is
 (weakly) non-decreasing in the loss rate.
 """
 
+from golden_records import assert_matches_golden
+
 from repro.analysis import monotone_fraction
-from repro.experiments import loss
+from repro.experiments import run_experiment
+from repro.experiments.loss import effective_rate
 
 
 def test_loss_regeneration(once):
-    points, text = once(loss.run, "bench")
-    print("\n" + text)
+    result = once(run_experiment, "loss", "bench")
+    print("\n" + result.text)
+    assert_matches_golden("loss", result.records)
 
     by_benchmark: dict[str, list[tuple[float, int]]] = {}
-    for point in points:
-        assert point.effective_rate == loss.effective_rate(point.loss_rate)
-        by_benchmark.setdefault(point.benchmark, []).append(
-            (point.loss_rate, point.rsl_count)
+    for record in result.records:
+        fields = record.fields
+        assert fields["effective_rate"] == effective_rate(fields["loss_rate"])
+        by_benchmark.setdefault(fields["benchmark"], []).append(
+            (fields["loss_rate"], fields["rsl_count"])
         )
     for benchmark, series in by_benchmark.items():
         series.sort()

@@ -6,22 +6,30 @@ Shape claims checked here (the paper's headline results):
 * OnePerc compiles everything, with #RSL orders of magnitude below the cap;
 * at 4 qubits / p = 0.9, OnePerc pays *more* fusions than OneQ (percolation
   overhead), while its #RSL is still smaller.
+
+The serial run must also reproduce the checked-in golden records byte for
+byte (the reference the pool runners are compared against).
 """
 
-from repro.experiments import table2
+from golden_records import assert_matches_golden
+
+from repro.experiments import run_experiment
+from repro.experiments.table2 import paired_rows
 
 
 def test_table2_regeneration(once):
-    rows, text = once(table2.run, "bench")
-    print("\n" + text)
+    result = once(run_experiment, "table2", "bench")
+    print("\n" + result.text)
+    assert_matches_golden("table2", result.records)
 
-    practical = [row for row in rows if row.fusion_rate == 0.75]
+    rows = paired_rows(result.records)
+    practical = [row for row in rows if row["fusion_rate"] == 0.75]
     assert practical, "bench scale must include the practical rate"
-    assert all(row.oneq_capped for row in practical)
-    assert all(row.oneperc_rsl < row.oneq_rsl for row in practical)
+    assert all(row["oneq_capped"] for row in practical)
+    assert all(row["oneperc_rsl"] < row["oneq_rsl"] for row in practical)
 
     hyper_small = [
-        row for row in rows if row.fusion_rate == 0.90 and "4" in row.benchmark
+        row for row in rows if row["fusion_rate"] == 0.90 and "4" in row["benchmark"]
     ]
-    assert all(row.rsl_improvement > 1.0 for row in hyper_small)
-    assert all(row.fusion_improvement < 1.0 for row in hyper_small)
+    assert all(row["rsl_improvement"] > 1.0 for row in hyper_small)
+    assert all(row["fusion_improvement"] < 1.0 for row in hyper_small)

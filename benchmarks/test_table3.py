@@ -4,20 +4,25 @@ Shape claims: the largest programs exceed the budget without refresh ('-'),
 refresh compiles everything, and the cost is extra #RSL.
 """
 
-from repro.experiments import table3
+from golden_records import assert_matches_golden
+
+from repro.experiments import run_experiment
+from repro.experiments.table3 import paired_rows
 
 
 def test_table3_regeneration(once):
-    rows, text = once(table3.run, "bench")
-    print("\n" + text)
+    result = once(run_experiment, "table3", "bench")
+    print("\n" + result.text)
+    assert_matches_golden("table3", result.records)
 
-    largest = max(row.num_qubits for row in rows)
+    rows = paired_rows(result.records)
+    largest = max(row["num_qubits"] for row in rows)
     for row in rows:
-        if row.num_qubits == largest:
-            assert row.non_refreshed_rsl is None, (
-                f"{row.benchmark}-{row.num_qubits} unexpectedly fit the budget"
+        if row["num_qubits"] == largest:
+            assert row["non_refreshed_rsl"] is None, (
+                f"{row['benchmark']}-{row['num_qubits']} unexpectedly fit the budget"
             )
-        assert row.refreshed_rsl > 0
-        if row.non_refreshed_rsl is not None:
-            assert row.refreshed_rsl >= row.non_refreshed_rsl
-            assert row.refreshed_peak_bytes <= row.non_refreshed_peak_bytes
+        assert row["refreshed_rsl"] > 0
+        if row["non_refreshed_rsl"] is not None:
+            assert row["refreshed_rsl"] >= row["non_refreshed_rsl"]
+            assert row["refreshed_peak_bytes"] <= row["non_refreshed_peak_bytes"]

@@ -1,49 +1,51 @@
 """Regenerate every table and figure of the paper's evaluation.
 
 Run:  python examples/reproduce_all.py [bench|paper] [output.md]
+                                       [--runner serial|thread|process]
+                                       [--workers N]
 
 ``bench`` (default) uses the scaled-down parameters (a few minutes);
 ``paper`` uses the paper's own parameters (hours, as the artifact appendix
 warns).  With an output path the report is also written as markdown —
 EXPERIMENTS.md's measured sections were produced this way.
+
+The experiment list comes from the registry (`repro.experiments.api`), so a
+newly registered experiment shows up here with no edits; the runner flags
+pick the execution backend (records are identical for every backend).
 """
 
-import sys
+import argparse
 import time
 
-from repro.experiments import fig12, fig13, fig14, fig15, fig16, loss, table2, table3
-
-EXPERIMENTS = [
-    ("Table 2", table2),
-    ("Table 3", table3),
-    ("Fig. 12", fig12),
-    ("Fig. 13", fig13),
-    ("Fig. 14", fig14),
-    ("Fig. 15", fig15),
-    ("Fig. 16", fig16),
-    ("Photon loss (extension)", loss),
-]
+from repro.experiments import EXPERIMENT_REGISTRY, RUNNERS, make_runner
 
 
 def main() -> None:
-    scale = sys.argv[1] if len(sys.argv) > 1 else "bench"
-    output_path = sys.argv[2] if len(sys.argv) > 2 else None
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scale", nargs="?", default="bench", choices=("bench", "paper"))
+    parser.add_argument("output", nargs="?", default=None, help="optional markdown path")
+    parser.add_argument("--runner", default="serial", choices=list(RUNNERS))
+    parser.add_argument("--workers", type=int, default=None)
+    args = parser.parse_args()
+
+    runner = make_runner(args.runner, max_workers=args.workers)
     sections: list[str] = []
-    for name, module in EXPERIMENTS:
+    for name, experiment in EXPERIMENT_REGISTRY.items():
         start = time.perf_counter()
-        _rows, text = module.run(scale)
+        result = experiment.run(args.scale, runner=runner)
         elapsed = time.perf_counter() - start
-        header = f"== {name} (scale={scale}, {elapsed:.1f}s) =="
+        header = f"== {name}: {experiment.description} (scale={args.scale}, {elapsed:.1f}s) =="
         print(header)
-        print(text)
+        print(result.text)
         print()
-        sections.append(f"### {name}\n\n```\n{text}\n```\n")
-    if output_path:
-        with open(output_path, "w") as handle:
+        sections.append(f"### {name}\n\n```\n{result.text}\n```\n")
+    if args.output:
+        with open(args.output, "w") as handle:
             handle.write(
-                f"# Reproduced evaluation (scale = {scale})\n\n" + "\n".join(sections)
+                f"# Reproduced evaluation (scale = {args.scale})\n\n"
+                + "\n".join(sections)
             )
-        print(f"wrote {output_path}")
+        print(f"wrote {args.output}")
 
 
 if __name__ == "__main__":

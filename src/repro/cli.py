@@ -6,8 +6,15 @@ Usage (also via ``python -m repro.cli``)::
     python -m repro.cli compile --benchmark qaoa --qubits 4 --rate 0.75
     python -m repro.cli compile --benchmark qaoa --qubits 4 --json
     python -m repro.cli baseline --benchmark qft --qubits 4 --rate 0.75
+    python -m repro.cli experiment --list
     python -m repro.cli experiment --name table2 --scale bench
+    python -m repro.cli experiment --name fig14 --json --runner process --workers 4
+    python -m repro.cli experiment --name fig16 --out fig16.csv
     python -m repro.cli percolate --size 24 --rate 0.75 --node 8
+
+The ``experiment`` subcommand is a thin shell over the experiment registry
+(:mod:`repro.experiments.api`): names, scales, and runner backends all come
+from the registry and runner table, never from lists duplicated here.
 """
 
 from __future__ import annotations
@@ -17,6 +24,14 @@ import json
 import sys
 
 from repro.circuits.benchmarks import BENCHMARKS, make_benchmark
+from repro.experiments.api import (
+    EXPERIMENT_REGISTRY,
+    UnknownExperimentError,
+    experiment_names,
+    get_experiment,
+)
+from repro.experiments.common import SCALES
+from repro.experiments.runners import RUNNERS, make_runner
 from repro.pipeline import Pipeline, PipelineSettings
 
 
@@ -117,21 +132,47 @@ def cmd_baseline(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    from repro import experiments
-
-    modules = {
-        "table2": experiments.table2,
-        "table3": experiments.table3,
-        "fig12": experiments.fig12,
-        "fig13": experiments.fig13,
-        "fig14": experiments.fig14,
-        "fig15": experiments.fig15,
-        "fig16": experiments.fig16,
-        "loss": experiments.loss,
-    }
-    module = modules[args.name]
-    _rows, text = module.run(args.scale, seed=args.seed)
-    print(text)
+    if args.list:
+        names = experiment_names()  # ensures the registry is populated
+        width = max(len(name) for name in names)
+        for name in names:
+            print(f"{name:<{width}}  {EXPERIMENT_REGISTRY[name].description}")
+        return 0
+    if not args.name:
+        print("experiment: --name is required (or use --list)", file=sys.stderr)
+        return 2
+    try:
+        experiment = get_experiment(args.name)
+    except UnknownExperimentError as exc:
+        print(f"experiment: {exc}", file=sys.stderr)
+        return 2
+    runner = make_runner(args.runner, max_workers=args.workers)
+    if args.workers is not None and args.runner == "serial":
+        print(
+            "note: the serial runner ignores --workers; pass "
+            "--runner thread|process for a parallel run",
+            file=sys.stderr,
+        )
+    if args.runner != "serial":
+        print(
+            "note: pool runners measure wall-clock timings under contention; "
+            "deterministic fields are unaffected, but use --runner serial "
+            "when the seconds columns are the point (Figs. 14-15)",
+            file=sys.stderr,
+        )
+    result = experiment.run(args.scale, seed=args.seed, runner=runner)
+    if args.out:
+        if args.out.lower().endswith(".csv"):
+            artifact = result.to_csv()
+        else:
+            artifact = json.dumps(result.to_json_obj(), indent=2) + "\n"
+        with open(args.out, "w") as handle:
+            handle.write(artifact)
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(result.to_json_obj(), indent=2))
+    else:
+        print(result.text)
     return 0
 
 
@@ -172,15 +213,40 @@ def build_parser() -> argparse.ArgumentParser:
     baseline_parser.set_defaults(handler=cmd_baseline)
 
     experiment_parser = commands.add_parser(
-        "experiment", help="regenerate a table/figure"
+        "experiment", help="regenerate a table/figure via the experiment registry"
     )
     experiment_parser.add_argument(
         "--name",
-        required=True,
-        choices=["table2", "table3", "fig12", "fig13", "fig14", "fig15", "fig16", "loss"],
+        help="registered experiment name: " + ", ".join(experiment_names()),
     )
-    experiment_parser.add_argument("--scale", default="bench", choices=["bench", "paper"])
+    experiment_parser.add_argument(
+        "--list", action="store_true", help="list registered experiments and exit"
+    )
+    experiment_parser.add_argument("--scale", default="bench", choices=list(SCALES))
     experiment_parser.add_argument("--seed", type=int, default=0)
+    experiment_parser.add_argument(
+        "--runner",
+        default="serial",
+        choices=list(RUNNERS),
+        help="execution backend for the experiment's jobs",
+    )
+    experiment_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for pool runners (records are identical for any N)",
+    )
+    experiment_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the structured records as JSON instead of the rendered table",
+    )
+    experiment_parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also export the records to FILE (.csv -> CSV, otherwise JSON)",
+    )
     experiment_parser.set_defaults(handler=cmd_experiment)
 
     percolate_parser = commands.add_parser(

@@ -1,22 +1,78 @@
-"""Experiment harness: one module per table/figure of the paper's Section 7.
+"""Experiment harness: one registered experiment per table/figure of
+Section 7.
 
-Each module exposes ``run(scale="bench"|"paper", seed=...)`` returning
-``(structured rows, rendered table)``.  ``examples/reproduce_all.py`` runs
-everything and regenerates EXPERIMENTS.md's measured columns.
+Each module defines an :class:`~repro.experiments.api.Experiment` subclass
+and registers it in :data:`~repro.experiments.api.EXPERIMENT_REGISTRY` at
+import time (importing this package completes the registry).  Run one with::
+
+    from repro.experiments import run_experiment
+    result = run_experiment("fig14", scale="bench", runner="process")
+    print(result.text)            # the rendered table
+    result.to_json_obj()          # structured records
+
+or from the CLI: ``python -m repro.cli experiment --name fig14 --json``.
+``examples/reproduce_all.py`` runs everything and regenerates
+EXPERIMENTS.md's measured sections.
 """
 
-from repro.experiments import fig12, fig13, fig14, fig15, fig16, loss, table2, table3
-from repro.experiments.common import BenchmarkCase, SCALES
+# Import order is registration order is presentation order (Table 2 first).
+from repro.experiments import table2, table3  # noqa: I001
+from repro.experiments import fig12, fig13, fig14, fig15, fig16, loss
+from repro.experiments.api import (
+    EXPERIMENT_REGISTRY,
+    CompileJob,
+    Experiment,
+    ExperimentRecord,
+    ExperimentResult,
+    FnJob,
+    Job,
+    UnknownExperimentError,
+    canonical_json,
+    experiment_names,
+    get_experiment,
+    group_cells,
+    register,
+    run_experiment,
+)
+from repro.experiments.common import SCALES, BenchmarkCase
+from repro.experiments.runners import (
+    RUNNERS,
+    ProcessRunner,
+    Runner,
+    SerialRunner,
+    ThreadRunner,
+    make_runner,
+)
 
 __all__ = [
-    "table2",
-    "table3",
+    "BenchmarkCase",
+    "CompileJob",
+    "EXPERIMENT_REGISTRY",
+    "Experiment",
+    "ExperimentRecord",
+    "ExperimentResult",
+    "FnJob",
+    "Job",
+    "ProcessRunner",
+    "RUNNERS",
+    "Runner",
+    "SCALES",
+    "SerialRunner",
+    "ThreadRunner",
+    "UnknownExperimentError",
+    "canonical_json",
+    "experiment_names",
     "fig12",
     "fig13",
     "fig14",
     "fig15",
     "fig16",
+    "get_experiment",
+    "group_cells",
     "loss",
-    "BenchmarkCase",
-    "SCALES",
+    "make_runner",
+    "register",
+    "run_experiment",
+    "table2",
+    "table3",
 ]

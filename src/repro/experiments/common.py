@@ -1,20 +1,22 @@
-"""Shared experiment scaffolding: scaled parameter sets and sweep helpers.
+"""Shared experiment scaffolding: scales, benchmark cases, seed streams.
 
-Every experiment module exposes ``run(scale=...)`` returning structured rows
-plus a rendered table.  Two scales exist:
+Every experiment runs at one of two scales:
 
 * ``"bench"`` — small parameters for CI / pytest-benchmark (minutes end to
   end).  Trends survive; absolute values shrink.
 * ``"paper"`` — the paper's own parameters (Table 1, Figs. 12-16 captions).
   Hours of CPU, as the artifact appendix warns.
 
-EXPERIMENTS.md records which scale produced the checked-in numbers.
+EXPERIMENTS.md records which scale produced the checked-in numbers.  The
+sweep/averaging helpers that used to live here are gone: sweeps are now job
+lists built by :class:`repro.experiments.api.Experiment` subclasses and
+averaging happens inside self-seeded jobs, so any runner backend can execute
+them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.utils.rng import RandomStream
 
@@ -39,22 +41,10 @@ def check_scale(scale: str) -> None:
 
 
 def stream_for(experiment: str, seed: int | None = None) -> RandomStream:
-    """Deterministic per-experiment random stream."""
+    """Deterministic per-experiment random stream.
+
+    Monte-Carlo jobs derive per-point child streams from this
+    (``stream_for("fig16", seed).child(rate, node)``), which is what makes
+    them independent of scheduling order and safe on any runner backend.
+    """
     return RandomStream(seed).child("experiments", experiment)
-
-
-def average(values: list[float]) -> float:
-    return sum(values) / len(values) if values else float("nan")
-
-
-def sweep(
-    points: list,
-    runner: Callable,
-    trials: int,
-) -> list[tuple[object, float]]:
-    """Average ``runner(point, trial)`` over ``trials`` per sweep point."""
-    rows = []
-    for point in points:
-        values = [float(runner(point, trial)) for trial in range(trials)]
-        rows.append((point, average(values)))
-    return rows

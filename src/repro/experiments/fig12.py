@@ -8,15 +8,23 @@ Three sweeps over the same compiled benchmarks:
   falls as the hardware grows;
 * (c) a higher fusion success probability yields larger renormalized
   lattices, so #RSL falls as the rate rises from 0.66 to 0.78.
+
+Every sweep point is one :class:`CompileJob`; points sharing a settings
+object (the families at each x) batch through ``Pipeline.compile_many``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Sequence
 
-from repro.circuits.benchmarks import make_benchmark
-from repro.compiler.driver import OnePercCompiler
-from repro.experiments.common import check_scale
+from repro.experiments.api import (
+    CompileJob,
+    Experiment,
+    ExperimentRecord,
+    Job,
+    register,
+)
+from repro.pipeline import PipelineSettings
 from repro.utils.tables import TextTable
 
 #: (families, qubits, virtual size) per scale.
@@ -41,82 +49,65 @@ SCALE_SWEEPS = {
     ),
 }
 
-
-@dataclass
-class SweepPoint:
-    panel: str  # "a" | "b" | "c"
-    x: float
-    benchmark: str
-    rsl_count: int
+MAX_RSL = 10**5
 
 
-def _compile_rsl(
-    family: str,
-    qubits: int,
-    virtual: int,
-    resource_size: int,
-    rsl_size: int,
-    rate: float,
-    seed: int,
-    max_rsl: int = 10**5,
-) -> int:
-    compiler = OnePercCompiler(
+def point_settings(
+    resource_size: int, rsl_size: int, rate: float, virtual: int
+) -> PipelineSettings:
+    """The pipeline configuration for one sweep point."""
+    return PipelineSettings(
         fusion_success_rate=rate,
         resource_state_size=resource_size,
         rsl_size=rsl_size,
         virtual_size=virtual,
-        seed=seed,
-        max_rsl=max_rsl,
+        max_rsl=MAX_RSL,
     )
-    return compiler.compile(make_benchmark(family, qubits, seed=seed)).rsl_count
 
 
-def run(scale: str = "bench", seed: int = 0) -> tuple[list[SweepPoint], str]:
-    check_scale(scale)
-    families, qubits, virtual = SCALE_PROGRAM[scale]
-    resource_sizes, rsl_sizes, rates, rsl_a, rsl_c, base_rate = SCALE_SWEEPS[scale]
-    points: list[SweepPoint] = []
-    for family in families:
-        label = f"{family.upper()}{qubits}"
-        for size in resource_sizes:  # panel (a): hardware fixed, stars vary
-            points.append(
-                SweepPoint(
-                    "a",
-                    size,
-                    label,
-                    _compile_rsl(family, qubits, virtual, size, rsl_a, base_rate, seed),
+@register
+class Fig12Experiment(Experiment):
+    name = "fig12"
+    description = "#RSL vs resource state size (a), RSL size (b), fusion rate (c)"
+
+    def build_jobs(self, scale: str, seed: int) -> list[Job]:
+        families, qubits, virtual = SCALE_PROGRAM[scale]
+        resource_sizes, rsl_sizes, rates, rsl_a, rsl_c, base_rate = SCALE_SWEEPS[scale]
+        jobs: list[Job] = []
+
+        def add(panel: str, x: float, family: str, settings: PipelineSettings) -> None:
+            jobs.append(
+                CompileJob(
+                    key=f"{panel}/{family}{qubits}/x={x}",
+                    meta={"panel": panel, "x": x, "benchmark": f"{family.upper()}{qubits}"},
+                    family=family,
+                    num_qubits=qubits,
+                    settings=settings,
+                    seed=seed,
                 )
             )
-        for rsl in rsl_sizes:  # panel (b): 7-qubit stars, RSL varies
-            # A larger RSL renormalizes to a larger lattice, so the virtual
-            # hardware grows with it (Section 7.3): that extra routing space
-            # is what cuts #RSL.
-            virtual_b = max(virtual, rsl // 14)
-            points.append(
-                SweepPoint(
-                    "b",
-                    rsl,
-                    label,
-                    _compile_rsl(family, qubits, virtual_b, 7, rsl, base_rate, seed),
-                )
-            )
-        for rate in rates:  # panel (c): 7-qubit stars, rate varies
-            points.append(
-                SweepPoint(
-                    "c",
-                    rate,
-                    label,
-                    _compile_rsl(family, qubits, virtual, 7, rsl_c, rate, seed),
-                )
-            )
-    return points, render(points)
 
+        for family in families:
+            for size in resource_sizes:  # panel (a): hardware fixed, stars vary
+                add("a", size, family, point_settings(size, rsl_a, base_rate, virtual))
+            for rsl in rsl_sizes:  # panel (b): 7-qubit stars, RSL varies
+                # A larger RSL renormalizes to a larger lattice, so the
+                # virtual hardware grows with it (Section 7.3): that extra
+                # routing space is what cuts #RSL.
+                virtual_b = max(virtual, rsl // 14)
+                add("b", rsl, family, point_settings(7, rsl, base_rate, virtual_b))
+            for rate in rates:  # panel (c): 7-qubit stars, rate varies
+                add("c", rate, family, point_settings(7, rsl_c, rate, virtual))
+        return jobs
 
-def render(points: list[SweepPoint]) -> str:
-    table = TextTable(
-        ["Panel", "X", "Benchmark", "#RSL"],
-        title="Fig. 12: #RSL vs resource state size (a), RSL size (b), fusion rate (c)",
-    )
-    for point in points:
-        table.add_row(point.panel, point.x, point.benchmark, point.rsl_count)
-    return table.render()
+    def render(self, records: Sequence[ExperimentRecord]) -> str:
+        table = TextTable(
+            ["Panel", "X", "Benchmark", "#RSL"],
+            title="Fig. 12: #RSL vs resource state size (a), RSL size (b), fusion rate (c)",
+        )
+        for record in records:
+            fields = record.fields
+            table.add_row(
+                fields["panel"], fields["x"], fields["benchmark"], fields["rsl_count"]
+            )
+        return table.render()

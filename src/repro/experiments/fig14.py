@@ -7,21 +7,29 @@
 
 We report wall-clock seconds like the paper (compiler implemented in
 Python both here and there), plus the deterministic visited-sites proxy so
-the trend is machine-independent.
+the trend is machine-independent.  Wall-clock values live in the records'
+``timings`` (excluded from determinism comparisons); the visited-sites
+proxy and the concurrency factor are deterministic fields.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from typing import Any, Sequence
 
-from repro.circuits.benchmarks import make_benchmark
-from repro.compiler.driver import OnePercCompiler
-from repro.experiments.common import check_scale
+from repro.experiments.api import (
+    CompileJob,
+    Experiment,
+    ExperimentRecord,
+    FnJob,
+    Job,
+    register,
+)
+from repro.experiments.common import stream_for
 from repro.online.modular import modular_renormalize
 from repro.online.percolation import sample_lattice
 from repro.online.renormalize import renormalize
-from repro.utils.rng import ensure_rng
+from repro.pipeline import PipelineSettings
 from repro.utils.tables import TextTable
 
 SCALE_14A = {
@@ -34,79 +42,127 @@ SCALE_14B = {
 }
 
 
-@dataclass
-class Fig14Result:
-    per_program: list[tuple[str, float]] = field(default_factory=list)
-    # (program label, seconds per RSL)
-    per_rsl_size: list[tuple[int, int, float, float]] = field(default_factory=list)
-    # (RSL size, modules, seconds per attempt, visited sites per attempt)
+def online_attempts(
+    rsl: int, node: int, modules: int, mi_ratio: float, rate: float, trials: int, seed: int
+) -> tuple[dict[str, Any], dict[str, float]]:
+    """One Fig. 14(b) point: timed renormalization attempts on fresh RSLs.
+
+    Returns deterministic fields (visited-sites proxy, concurrency factor)
+    plus a wall-clock timing.  Modules renormalize concurrently on hardware;
+    our process runs them serially, so the concurrent wall-clock is
+    estimated from the work split.
+    """
+    rng = stream_for("fig14", seed).child("b", rsl, modules).generator
+    seconds = 0.0
+    wall_visited = 0.0
+    total_visited = 0.0
+    for _ in range(trials):
+        lattice = sample_lattice(rsl, rate, rng)
+        start = time.perf_counter()
+        if modules == 1:
+            outcome = renormalize(lattice, max(1, rsl // node))
+            wall_visited += outcome.visited_sites
+            total_visited += outcome.visited_sites
+        else:
+            outcome = modular_renormalize(lattice, node, modules, mi_ratio)
+            wall_visited += outcome.wall_visited_sites
+            total_visited += outcome.total_visited_sites
+        seconds += time.perf_counter() - start
+    concurrency = wall_visited / total_visited if total_visited else 1.0
+    fields = {
+        "visited_per_attempt": wall_visited / trials,
+        "concurrency": concurrency,
+    }
+    timings = {"concurrent_seconds": seconds / trials * concurrency}
+    return fields, timings
 
 
-def run(scale: str = "bench", seed: int = 0) -> tuple[Fig14Result, str]:
-    check_scale(scale)
-    result = Fig14Result()
+def seconds_per_rsl(record: ExperimentRecord) -> float:
+    """Fig. 14(a)'s metric, from a compile record's online-pass timer.
 
-    families, qubit_counts, rsl_size, rate = SCALE_14A[scale]
-    for family in families:
-        for qubits in qubit_counts:
-            compiler = OnePercCompiler(
-                fusion_success_rate=rate,
-                resource_state_size=7,
-                rsl_size=rsl_size,
-                virtual_size=2,
-                seed=seed,
-                max_rsl=10**5,
-            )
-            compiled = compiler.compile(make_benchmark(family, qubits, seed=seed))
-            result.per_program.append(
-                (f"{family.upper()}{qubits}", compiled.online_seconds_per_rsl)
-            )
-
-    rng = ensure_rng(seed)
-    rsl_sizes, node, module_counts, mi_ratio, rate_b, trials = SCALE_14B[scale]
-    for rsl in rsl_sizes:
-        for modules in module_counts:
-            seconds = 0.0
-            wall_visited = 0.0
-            total_visited = 0.0
-            for _ in range(trials):
-                lattice = sample_lattice(rsl, rate_b, rng)
-                start = time.perf_counter()
-                if modules == 1:
-                    outcome = renormalize(lattice, max(1, rsl // node))
-                    wall_visited += outcome.visited_sites
-                    total_visited += outcome.visited_sites
-                else:
-                    outcome = modular_renormalize(lattice, node, modules, mi_ratio)
-                    # Modules renormalize concurrently on hardware; our
-                    # process runs them serially, so the concurrent
-                    # wall-clock is estimated from the work split.
-                    wall_visited += outcome.wall_visited_sites
-                    total_visited += outcome.total_visited_sites
-                seconds += time.perf_counter() - start
-            serial_seconds = seconds / trials
-            concurrency = wall_visited / total_visited if total_visited else 1.0
-            result.per_rsl_size.append(
-                (rsl, modules, serial_seconds * concurrency, wall_visited / trials)
-            )
-    return result, render(result)
+    A missing ``online-reshape`` timer is a schema drift (renamed pass,
+    ablated chain) and raises rather than reading as a 0-second measurement.
+    """
+    rsl_count = record.fields["rsl_count"]
+    if not rsl_count:
+        return float("nan")
+    return record.timings["online-reshape"] / rsl_count
 
 
-def render(result: Fig14Result) -> str:
-    parts = []
-    table_a = TextTable(
-        ["Program", "Seconds per RSL"],
-        title="Fig. 14(a): online time per RSL vs program size",
-    )
-    for label, seconds in result.per_program:
-        table_a.add_row(label, f"{seconds:.4f}")
-    parts.append(table_a.render())
+@register
+class Fig14Experiment(Experiment):
+    name = "fig14"
+    description = "online seconds per RSL vs program size and RSL size/modularity"
 
-    table_b = TextTable(
-        ["RSL size", "Modules", "Concurrent seconds", "Visited sites (wall)"],
-        title="Fig. 14(b): online time per RSL vs RSL size and modularity",
-    )
-    for rsl, modules, seconds, visited in result.per_rsl_size:
-        table_b.add_row(rsl, modules, f"{seconds:.4f}", f"{visited:,.0f}")
-    parts.append(table_b.render())
-    return "\n\n".join(parts)
+    def build_jobs(self, scale: str, seed: int) -> list[Job]:
+        jobs: list[Job] = []
+
+        families, qubit_counts, rsl_size, rate = SCALE_14A[scale]
+        settings = PipelineSettings(
+            fusion_success_rate=rate,
+            resource_state_size=7,
+            rsl_size=rsl_size,
+            virtual_size=2,
+            max_rsl=10**5,
+        )
+        for family in families:
+            for qubits in qubit_counts:
+                jobs.append(
+                    CompileJob(
+                        key=f"a/{family}{qubits}",
+                        meta={"panel": "a", "benchmark": f"{family.upper()}{qubits}"},
+                        family=family,
+                        num_qubits=qubits,
+                        settings=settings,
+                        seed=seed,
+                    )
+                )
+
+        rsl_sizes, node, module_counts, mi_ratio, rate_b, trials = SCALE_14B[scale]
+        for rsl in rsl_sizes:
+            for modules in module_counts:
+                jobs.append(
+                    FnJob(
+                        key=f"b/rsl={rsl}/modules={modules}",
+                        meta={"panel": "b", "rsl_size": rsl, "modules": modules},
+                        fn=online_attempts,
+                        kwargs={
+                            "rsl": rsl,
+                            "node": node,
+                            "modules": modules,
+                            "mi_ratio": mi_ratio,
+                            "rate": rate_b,
+                            "trials": trials,
+                            "seed": seed,
+                        },
+                    )
+                )
+        return jobs
+
+    def render(self, records: Sequence[ExperimentRecord]) -> str:
+        parts = []
+        table_a = TextTable(
+            ["Program", "Seconds per RSL"],
+            title="Fig. 14(a): online time per RSL vs program size",
+        )
+        for record in records:
+            if record.fields.get("panel") == "a":
+                table_a.add_row(
+                    record.fields["benchmark"], f"{seconds_per_rsl(record):.4f}"
+                )
+        parts.append(table_a.render())
+
+        table_b = TextTable(
+            ["RSL size", "Modules", "Concurrent seconds", "Visited sites (wall)"],
+            title="Fig. 14(b): online time per RSL vs RSL size and modularity",
+        )
+        for record in records:
+            if record.fields.get("panel") == "b":
+                table_b.add_row(
+                    record.fields["rsl_size"],
+                    record.fields["modules"],
+                    f"{record.timings['concurrent_seconds']:.4f}",
+                    f"{record.fields['visited_per_attempt']:,.0f}",
+                )
+        parts.append(table_b.render())
+        return "\n\n".join(parts)

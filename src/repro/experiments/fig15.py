@@ -5,15 +5,18 @@
 * (b) for a fixed program, mapping time is U-shaped in the virtual hardware
   length: too small a lattice inflates the layer count, too large a lattice
   inflates the per-layer work.
+
+Wall-clock seconds are the measured quantity, so they live in the records'
+``timings``; the deterministic layer count is a field.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from typing import Any, Sequence
 
 from repro.circuits.benchmarks import make_benchmark
-from repro.experiments.common import check_scale
+from repro.experiments.api import Experiment, ExperimentRecord, FnJob, Job, register
 from repro.mbqc.translate import translate_circuit
 from repro.offline.mapper import OfflineMapper
 from repro.utils.tables import TextTable
@@ -28,54 +31,93 @@ SCALE_15B = {
 }
 
 
-@dataclass
-class Fig15Result:
-    by_program_size: list[tuple[str, int, float]] = field(default_factory=list)
-    # (family, qubits, seconds)
-    by_virtual_size: list[tuple[str, int, float, int]] = field(default_factory=list)
-    # (family, virtual width, seconds, layers)
-
-
-def _time_mapping(family: str, qubits: int, width: int, seed: int) -> tuple[float, int]:
+def timed_mapping(
+    family: str, qubits: int, width: int, seed: int
+) -> tuple[dict[str, Any], dict[str, float]]:
+    """One offline mapping, timed: deterministic layers + wall seconds."""
     pattern = translate_circuit(make_benchmark(family, qubits, seed=seed))
     start = time.perf_counter()
     result = OfflineMapper(width=width).map_pattern(pattern)
-    return time.perf_counter() - start, result.layer_count
+    seconds = time.perf_counter() - start
+    return {"logical_layers": int(result.layer_count)}, {"offline_seconds": seconds}
 
 
-def run(scale: str = "bench", seed: int = 0) -> tuple[Fig15Result, str]:
-    check_scale(scale)
-    result = Fig15Result()
+@register
+class Fig15Experiment(Experiment):
+    name = "fig15"
+    description = "offline compile time vs program size and virtual hardware length"
 
-    families, qubit_counts, width = SCALE_15A[scale]
-    for family in families:
-        for qubits in qubit_counts:
-            seconds, _layers = _time_mapping(family, qubits, width, seed)
-            result.by_program_size.append((family.upper(), qubits, seconds))
+    def build_jobs(self, scale: str, seed: int) -> list[Job]:
+        jobs: list[Job] = []
+        families, qubit_counts, width = SCALE_15A[scale]
+        for family in families:
+            for qubits in qubit_counts:
+                jobs.append(
+                    FnJob(
+                        key=f"a/{family}{qubits}",
+                        meta={
+                            "panel": "a",
+                            "benchmark": family.upper(),
+                            "num_qubits": qubits,
+                        },
+                        fn=timed_mapping,
+                        kwargs={
+                            "family": family,
+                            "qubits": qubits,
+                            "width": width,
+                            "seed": seed,
+                        },
+                    )
+                )
 
-    families_b, qubits_b, widths = SCALE_15B[scale]
-    for family in families_b:
-        for width_b in widths:
-            seconds, layers = _time_mapping(family, qubits_b, width_b, seed)
-            result.by_virtual_size.append((family.upper(), width_b, seconds, layers))
-    return result, render(result)
+        families_b, qubits_b, widths = SCALE_15B[scale]
+        for family in families_b:
+            for width_b in widths:
+                jobs.append(
+                    FnJob(
+                        key=f"b/{family}{qubits_b}/width={width_b}",
+                        meta={
+                            "panel": "b",
+                            "benchmark": family.upper(),
+                            "virtual_length": width_b,
+                        },
+                        fn=timed_mapping,
+                        kwargs={
+                            "family": family,
+                            "qubits": qubits_b,
+                            "width": width_b,
+                            "seed": seed,
+                        },
+                    )
+                )
+        return jobs
 
+    def render(self, records: Sequence[ExperimentRecord]) -> str:
+        parts = []
+        table_a = TextTable(
+            ["Benchmark", "#Qubits", "Offline seconds"],
+            title="Fig. 15(a): offline compile time vs program size (4x4 virtual hardware)",
+        )
+        for record in records:
+            if record.fields.get("panel") == "a":
+                table_a.add_row(
+                    record.fields["benchmark"],
+                    record.fields["num_qubits"],
+                    f"{record.timings['offline_seconds']:.3f}",
+                )
+        parts.append(table_a.render())
 
-def render(result: Fig15Result) -> str:
-    parts = []
-    table_a = TextTable(
-        ["Benchmark", "#Qubits", "Offline seconds"],
-        title="Fig. 15(a): offline compile time vs program size (4x4 virtual hardware)",
-    )
-    for family, qubits, seconds in result.by_program_size:
-        table_a.add_row(family, qubits, f"{seconds:.3f}")
-    parts.append(table_a.render())
-
-    table_b = TextTable(
-        ["Benchmark", "Virtual length", "Offline seconds", "Layers"],
-        title="Fig. 15(b): offline compile time vs virtual hardware length",
-    )
-    for family, width, seconds, layers in result.by_virtual_size:
-        table_b.add_row(family, width, f"{seconds:.3f}", layers)
-    parts.append(table_b.render())
-    return "\n\n".join(parts)
+        table_b = TextTable(
+            ["Benchmark", "Virtual length", "Offline seconds", "Layers"],
+            title="Fig. 15(b): offline compile time vs virtual hardware length",
+        )
+        for record in records:
+            if record.fields.get("panel") == "b":
+                table_b.add_row(
+                    record.fields["benchmark"],
+                    record.fields["virtual_length"],
+                    f"{record.timings['offline_seconds']:.3f}",
+                    record.fields["logical_layers"],
+                )
+        parts.append(table_b.render())
+        return "\n\n".join(parts)

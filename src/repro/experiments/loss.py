@@ -6,16 +6,24 @@ the effective fusion success probability by ``(1 - l)^2``, "possibly leading
 to more routing layers between logical layers".  This experiment quantifies
 that: #RSL as a function of the loss rate, down to where the effective rate
 crosses the viability region.
+
+Every point is a :class:`CompileJob`; points sharing a loss rate share a
+settings object, so each loss level runs as one ``compile_many`` batch.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Sequence
 
-from repro.circuits.benchmarks import make_benchmark
-from repro.compiler.driver import OnePercCompiler
-from repro.experiments.common import check_scale
+from repro.experiments.api import (
+    CompileJob,
+    Experiment,
+    ExperimentRecord,
+    Job,
+    register,
+)
 from repro.hardware.architecture import HardwareConfig
+from repro.pipeline import PipelineSettings
 from repro.utils.tables import TextTable
 
 #: (families, qubits, virtual size, RSL size, loss rates) per scale.
@@ -24,64 +32,65 @@ SCALE_SETTINGS = {
     "paper": (("qaoa", "qft", "vqe", "rca"), 36, 6, 132, (0.0, 0.01, 0.02, 0.04, 0.06)),
 }
 
-
-@dataclass
-class LossPoint:
-    benchmark: str
-    loss_rate: float
-    effective_rate: float
-    rsl_count: int
-    pl_ratio: float
+FUSION_RATE = 0.78
 
 
-def run(scale: str = "bench", seed: int = 0) -> tuple[list[LossPoint], str]:
-    check_scale(scale)
-    families, qubits, virtual, rsl_size, loss_rates = SCALE_SETTINGS[scale]
-    points: list[LossPoint] = []
-    for family in families:
-        circuit = make_benchmark(family, qubits, seed=seed)
-        for loss in loss_rates:
-            compiler = OnePercCompiler(
-                fusion_success_rate=0.78,
-                resource_state_size=7,
-                rsl_size=rsl_size,
-                virtual_size=virtual,
-                photon_loss_rate=loss,
-                seed=seed,
-                max_rsl=10**5,
-            )
-            config, _ = compiler.hardware_for(qubits)
-            result = compiler.compile(circuit)
-            points.append(
-                LossPoint(
-                    benchmark=f"{family.upper()}{qubits}",
-                    loss_rate=loss,
-                    effective_rate=config.effective_fusion_rate,
-                    rsl_count=result.rsl_count,
-                    pl_ratio=result.pl_ratio,
-                )
-            )
-    return points, render(points)
-
-
-def render(points: list[LossPoint]) -> str:
-    table = TextTable(
-        ["Benchmark", "Loss rate", "Effective fusion rate", "#RSL", "PL ratio"],
-        title="Photon-loss sensitivity (loss scales the fusion rate by (1-l)^2)",
-    )
-    for point in points:
-        table.add_row(
-            point.benchmark,
-            point.loss_rate,
-            f"{point.effective_rate:.3f}",
-            point.rsl_count,
-            f"{point.pl_ratio:.2f}",
-        )
-    return table.render()
-
-
-def effective_rate(loss: float, fusion_rate: float = 0.78) -> float:
-    """Convenience: the (1 - l)^2-scaled rate (used by tests)."""
+def effective_rate(loss: float, fusion_rate: float = FUSION_RATE) -> float:
+    """Convenience: the (1 - l)^2-scaled rate (used by tests and records)."""
     return HardwareConfig(
         fusion_success_rate=fusion_rate, photon_loss_rate=loss
     ).effective_fusion_rate
+
+
+@register
+class LossExperiment(Experiment):
+    name = "loss"
+    description = "photon-loss sensitivity: #RSL vs loss rate (extension)"
+
+    def build_jobs(self, scale: str, seed: int) -> list[Job]:
+        families, qubits, virtual, rsl_size, loss_rates = SCALE_SETTINGS[scale]
+        jobs: list[Job] = []
+        # Family-outer keeps each benchmark's loss curve contiguous in the
+        # rendered table; equal settings objects still hash together, so the
+        # runner batches one compile_many group per loss rate regardless.
+        for family in families:
+            for loss_rate in loss_rates:
+                settings = PipelineSettings(
+                    fusion_success_rate=FUSION_RATE,
+                    resource_state_size=7,
+                    rsl_size=rsl_size,
+                    virtual_size=virtual,
+                    photon_loss_rate=loss_rate,
+                    max_rsl=10**5,
+                )
+                jobs.append(
+                    CompileJob(
+                        key=f"{family}{qubits}/loss={loss_rate}",
+                        meta={
+                            "benchmark": f"{family.upper()}{qubits}",
+                            "loss_rate": loss_rate,
+                            "effective_rate": effective_rate(loss_rate),
+                        },
+                        family=family,
+                        num_qubits=qubits,
+                        settings=settings,
+                        seed=seed,
+                    )
+                )
+        return jobs
+
+    def render(self, records: Sequence[ExperimentRecord]) -> str:
+        table = TextTable(
+            ["Benchmark", "Loss rate", "Effective fusion rate", "#RSL", "PL ratio"],
+            title="Photon-loss sensitivity (loss scales the fusion rate by (1-l)^2)",
+        )
+        for record in records:
+            fields = record.fields
+            table.add_row(
+                fields["benchmark"],
+                fields["loss_rate"],
+                f"{fields['effective_rate']:.3f}",
+                fields["rsl_count"],
+                f"{fields['pl_ratio']:.2f}",
+            )
+        return table.render()

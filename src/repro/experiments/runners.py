@@ -1,0 +1,241 @@
+"""Pluggable experiment runners: serial, thread-pool, and process-pool.
+
+A runner executes a job list and returns input-ordered
+:class:`~repro.experiments.api.ExperimentRecord` lists.  All three backends
+produce byte-identical canonical records for any worker count because jobs
+are self-seeded (see :mod:`repro.experiments.api`); the backend choice only
+moves wall-clock time around.
+
+Compile jobs are grouped by ``(settings, baseline)`` and dispatched as
+``Pipeline.compile_many`` batches — the batch API is the single execution
+path for every compilation in the experiments layer.  A pool runner opens
+*one* executor per ``run_jobs`` call, submits every batch and function job
+up front, and only then gathers, so pool startup is paid once and the pool
+stays saturated across groups.
+
+One caveat follows from "only the wall clock differs": records' ``timings``
+are measured while jobs *contend* for cores (and, on the thread runner, the
+GIL), so the timing columns of the timing experiments (Figs. 14-15) are
+only meaningful from the serial runner — the default everywhere.  Pool
+runners still produce bit-identical deterministic fields; they just cannot
+be used to *measure* single-job wall clock.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Sequence
+
+from repro.circuits.benchmarks import make_benchmark
+from repro.errors import ReproError
+from repro.experiments.api import CompileJob, ExperimentRecord, FnJob, Job
+from repro.pipeline import Pipeline
+
+
+def _call_fn_job(job: FnJob) -> Any:
+    # Module-level so the process pool can pickle it by reference.
+    return job.fn(**job.kwargs)
+
+
+def _named(job: Job, experiment: str, compute):
+    """Run ``compute``, naming the failing job: a sweep error must say which
+    sweep point died (circuit names alone repeat across settings groups)."""
+    try:
+        return compute()
+    except Exception as exc:
+        raise ReproError(f"{experiment} job {job.key!r}: {exc}") from exc
+
+
+def _split_output(out: Any) -> tuple[dict[str, Any], dict[str, float]]:
+    """Normalize an FnJob return value into (fields, timings)."""
+    if isinstance(out, tuple):
+        fields, timings = out
+        return dict(fields), dict(timings)
+    return dict(out), {}
+
+
+class Runner:
+    """Serial execution: the reference backend every other one must match."""
+
+    name = "serial"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers
+
+    # -- the runner contract ------------------------------------------------
+
+    def run_jobs(
+        self,
+        jobs: Sequence[Job],
+        *,
+        experiment: str,
+        scale: str,
+        seed: int,
+    ) -> list[ExperimentRecord]:
+        """Execute every job; records come back in job order."""
+        records: list[ExperimentRecord | None] = [None] * len(jobs)
+
+        compile_groups: dict[tuple, list[tuple[int, CompileJob]]] = {}
+        fn_jobs: list[tuple[int, FnJob]] = []
+        for index, job in enumerate(jobs):
+            if isinstance(job, CompileJob):
+                compile_groups.setdefault((job.settings, job.baseline), []).append(
+                    (index, job)
+                )
+            elif isinstance(job, FnJob):
+                fn_jobs.append((index, job))
+            else:
+                raise ReproError(f"runner cannot execute job of type {type(job)!r}")
+
+        with self._pool() as pool:
+            # Submit everything before gathering anything: every compile
+            # group (still batched through compile_many) and every fn job is
+            # in flight at once, so the pool stays saturated instead of
+            # draining group by group.
+            batches = []
+            for (settings, baseline), members in compile_groups.items():
+                pipeline = Pipeline(settings)
+                circuits = [
+                    make_benchmark(job.family, job.num_qubits, seed=job.benchmark_seed)
+                    for _index, job in members
+                ]
+                if pool is None:
+                    # A serial batch raises mid-call, so name the group here
+                    # (the futures path names the exact job at gather time).
+                    try:
+                        outcomes = pipeline.compile_many(
+                            circuits,
+                            seeds=[job.seed for _index, job in members],
+                            baseline=baseline,
+                        )
+                    except Exception as exc:
+                        keys = [job.key for _index, job in members]
+                        raise ReproError(
+                            f"{experiment} compile group "
+                            f"[{keys[0]} .. {keys[-1]}]: {exc}"
+                        ) from exc
+                else:
+                    outcomes = pipeline.compile_many(
+                        circuits,
+                        seeds=[job.seed for _index, job in members],
+                        baseline=baseline,
+                        executor=pool,
+                        as_futures=True,
+                    )
+                batches.append((members, outcomes))
+            if pool is None:
+                outputs = [
+                    _named(job, experiment, lambda j=job: _call_fn_job(j))
+                    for _index, job in fn_jobs
+                ]
+            else:
+                fn_futures = [pool.submit(_call_fn_job, job) for _index, job in fn_jobs]
+                outputs = [
+                    _named(job, experiment, future.result)
+                    for (_index, job), future in zip(fn_jobs, fn_futures)
+                ]
+
+            for members, outcomes in batches:
+                for (index, job), outcome in zip(members, outcomes):
+                    if pool is not None:
+                        outcome = _named(job, experiment, outcome.result)
+                    records[index] = _compile_record(
+                        job, outcome, experiment=experiment, scale=scale, seed=seed
+                    )
+        for (index, job), out in zip(fn_jobs, outputs):
+            # _named also covers normalization: a malformed fn return value
+            # must name its job, not just die unpacking.
+            fields, timings = _named(job, experiment, lambda o=out: _split_output(o))
+            records[index] = ExperimentRecord(
+                experiment=experiment,
+                scale=scale,
+                seed=seed,
+                job=job.key,
+                fields={**job.meta, **fields},
+                timings=timings,
+            )
+        return list(records)  # type: ignore[arg-type]
+
+    @contextmanager
+    def _pool(self):
+        """The executor shared by every batch of one run (None = in-line)."""
+        yield None
+
+
+class SerialRunner(Runner):
+    """Alias of the base runner; the canonical reference backend."""
+
+
+class ThreadRunner(Runner):
+    name = "thread"
+
+    @contextmanager
+    def _pool(self):
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            yield pool
+
+
+class ProcessRunner(Runner):
+    name = "process"
+
+    @contextmanager
+    def _pool(self):
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            yield pool
+
+
+def _compile_record(
+    job: CompileJob,
+    outcome,
+    *,
+    experiment: str,
+    scale: str,
+    seed: int,
+) -> ExperimentRecord:
+    """A uniform record from one compile outcome (OnePerc or baseline)."""
+    if job.baseline:
+        fields = {
+            **job.meta,
+            "rsl_count": int(outcome.rsl_count),
+            "fusion_count": int(outcome.fusion_count),
+            "restarts": int(outcome.restarts),
+            "capped": bool(outcome.capped),
+        }
+        timings: dict[str, float] = {}
+    else:
+        fields = {
+            **job.meta,
+            "rsl_count": int(outcome.rsl_count),
+            "fusion_count": int(outcome.fusion_count),
+            "logical_layers": int(outcome.logical_layers),
+            "pl_ratio": float(outcome.pl_ratio),
+        }
+        timings = dict(outcome.timings_by_pass)
+    return ExperimentRecord(
+        experiment=experiment,
+        scale=scale,
+        seed=seed,
+        job=job.key,
+        fields=fields,
+        timings=timings,
+    )
+
+
+#: Runner name -> class, the CLI's ``--runner`` choices.
+RUNNERS: dict[str, type[Runner]] = {
+    "serial": SerialRunner,
+    "thread": ThreadRunner,
+    "process": ProcessRunner,
+}
+
+
+def make_runner(name: str, max_workers: int | None = None) -> Runner:
+    """Instantiate a runner by name, with an error that lists the options."""
+    try:
+        runner_cls = RUNNERS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown runner {name!r}; available runners: {', '.join(RUNNERS)}"
+        ) from None
+    return runner_cls(max_workers=max_workers)

@@ -5,16 +5,26 @@ functions for tiny programs at hyper-advanced fusion rates; OnePerc compiles
 everything at the practical rate 0.75, with the #RSL advantage growing with
 program size.  OnePerc spends *more* fusions than OneQ on 4-qubit programs
 (the percolation overhead) and wins on both metrics at scale.
+
+Each cell is two :class:`CompileJob`\\ s (OnePerc + the OneQ baseline); one
+settings object serves every benchmark of a (rate, cap, node side) group, so
+runners batch each group through ``Pipeline.compile_many``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Any, Sequence
 
-from repro.circuits.benchmarks import make_benchmark
-from repro.errors import ReproError
-from repro.experiments.common import BenchmarkCase, check_scale
-from repro.pipeline import Pipeline, PipelineSettings
+from repro.experiments.api import (
+    CompileJob,
+    Experiment,
+    ExperimentRecord,
+    Job,
+    group_cells,
+    register,
+)
+from repro.experiments.common import BenchmarkCase
+from repro.pipeline import PipelineSettings
 from repro.utils.tables import TextTable
 
 FAMILIES = ("qaoa", "qft", "rca", "vqe")
@@ -32,124 +42,91 @@ SCALE_SETTINGS = {
 }
 
 
-@dataclass
-class Table2Row:
-    fusion_rate: float
-    benchmark: str
-    oneq_rsl: int
-    oneq_capped: bool
-    oneperc_rsl: int
-    oneq_fusions: int
-    oneperc_fusions: int
-
-    @property
-    def rsl_improvement(self) -> float:
-        return self.oneq_rsl / max(1, self.oneperc_rsl)
-
-    @property
-    def fusion_improvement(self) -> float:
-        return self.oneq_fusions / max(1, self.oneperc_fusions)
-
-
-def _pipeline_for(fusion_rate: float, rsl_cap: int, node_side: int, seed: int) -> Pipeline:
-    """One pipeline serves every benchmark of a (rate, cap, node side) group;
-    the RSL side resolves per circuit from ``node_side``."""
-    settings = PipelineSettings(
+def group_settings(fusion_rate: float, rsl_cap: int, node_side: int) -> PipelineSettings:
+    """One settings object serves every benchmark of a (rate, cap, node side)
+    group; the RSL side resolves per circuit from ``node_side``."""
+    return PipelineSettings(
         fusion_success_rate=fusion_rate,
         resource_state_size=4,  # the main experiment's resource states
         node_side=node_side,
         max_rsl=rsl_cap,
     )
-    return Pipeline(settings, seed=seed)
 
 
-def _row_from(case: BenchmarkCase, fusion_rate: float, result, baseline) -> Table2Row:
-    """Assemble one Table 2 row from a compiled (OnePerc, OneQ) pair."""
-    return Table2Row(
-        fusion_rate=fusion_rate,
-        benchmark=case.label,
-        oneq_rsl=baseline.rsl_count,
-        oneq_capped=baseline.capped,
-        oneperc_rsl=result.rsl_count,
-        oneq_fusions=baseline.fusion_count,
-        oneperc_fusions=result.fusion_count,
-    )
+def paired_rows(records: Sequence[ExperimentRecord]) -> list[dict[str, Any]]:
+    """Zip each cell's (OnePerc, OneQ) records into one comparison row."""
+    rows = []
+    for row, cell in group_cells(records, ("fusion_rate", "benchmark")):
+        for record in cell:
+            fields = record.fields
+            prefix = fields["compiler"]  # "oneperc" | "oneq"
+            row[f"{prefix}_rsl"] = fields["rsl_count"]
+            row[f"{prefix}_fusions"] = fields["fusion_count"]
+            if prefix == "oneq":
+                row["oneq_capped"] = fields["capped"]
+        row["rsl_improvement"] = row["oneq_rsl"] / max(1, row["oneperc_rsl"])
+        row["fusion_improvement"] = row["oneq_fusions"] / max(1, row["oneperc_fusions"])
+        rows.append(row)
+    return rows
 
 
-def run_case(
-    case: BenchmarkCase,
-    fusion_rate: float,
-    rsl_cap: int,
-    node_side: int,
-    seed: int = 0,
-) -> Table2Row:
-    """One Table 2 cell: compile with OnePerc and with the OneQ baseline."""
-    circuit = make_benchmark(case.family, case.num_qubits, seed=seed)
-    pipeline = _pipeline_for(fusion_rate, rsl_cap, node_side, seed)
-    return _row_from(
-        case, fusion_rate, pipeline.compile(circuit), pipeline.compile_baseline(circuit)
-    )
+@register
+class Table2Experiment(Experiment):
+    name = "table2"
+    description = "OnePerc vs OneQ (#RSL and #fusion) across benchmarks and rates"
 
+    def build_jobs(self, scale: str, seed: int) -> list[Job]:
+        jobs: list[Job] = []
+        for fusion_rate, qubit_counts, cap, node_side in SCALE_SETTINGS[scale]:
+            settings = group_settings(fusion_rate, cap, node_side)
+            for qubits in qubit_counts:
+                for family in FAMILIES:
+                    case = BenchmarkCase(family, qubits)
+                    for baseline in (False, True):
+                        compiler = "oneq" if baseline else "oneperc"
+                        jobs.append(
+                            CompileJob(
+                                key=f"{fusion_rate}/{case.label}/{compiler}",
+                                meta={
+                                    "fusion_rate": fusion_rate,
+                                    "benchmark": case.label,
+                                    "compiler": compiler,
+                                },
+                                family=family,
+                                num_qubits=qubits,
+                                settings=settings,
+                                seed=seed,
+                                baseline=baseline,
+                            )
+                        )
+        return jobs
 
-def run(
-    scale: str = "bench", seed: int = 0, max_workers: int | None = None
-) -> tuple[list[Table2Row], str]:
-    """All Table 2 rows for ``scale``; returns (rows, rendered table).
-
-    Each (rate, cap, node side) group runs as one ``compile_many`` batch —
-    optionally across a thread pool — instead of the old hand-rolled
-    per-cell loop; results are identical for any ``max_workers``.
-    """
-    check_scale(scale)
-    rows: list[Table2Row] = []
-    for fusion_rate, qubit_counts, cap, node_side in SCALE_SETTINGS[scale]:
-        cases = [
-            BenchmarkCase(family, qubits)
-            for qubits in qubit_counts
-            for family in FAMILIES
-        ]
-        circuits = [
-            make_benchmark(case.family, case.num_qubits, seed=seed) for case in cases
-        ]
-        pipeline = _pipeline_for(fusion_rate, cap, node_side, seed)
-        try:
-            results = pipeline.compile_many(circuits, max_workers=max_workers)
-            baselines = pipeline.compile_many(
-                circuits, max_workers=max_workers, baseline=True
+    def render(self, records: Sequence[ExperimentRecord]) -> str:
+        table = TextTable(
+            [
+                "Rate",
+                "Benchmark",
+                "OneQ #RSL",
+                "OnePerc #RSL",
+                "#RSL Improv.",
+                "OneQ #Fusion",
+                "OnePerc #Fusion",
+                "#Fusion Improv.",
+            ],
+            title="Table 2: OnePerc vs OneQ (repeat-until-success)",
+        )
+        for row in paired_rows(records):
+            oneq_rsl = (
+                f">{row['oneq_rsl']:,}" if row["oneq_capped"] else f"{row['oneq_rsl']:,}"
             )
-        except ReproError as exc:
-            raise ReproError(f"Table 2 group @{fusion_rate}: {exc}") from exc
-        rows.extend(
-            _row_from(case, fusion_rate, result, baseline)
-            for case, result, baseline in zip(cases, results, baselines)
-        )
-    return rows, render(rows)
-
-
-def render(rows: list[Table2Row]) -> str:
-    table = TextTable(
-        [
-            "Rate",
-            "Benchmark",
-            "OneQ #RSL",
-            "OnePerc #RSL",
-            "#RSL Improv.",
-            "OneQ #Fusion",
-            "OnePerc #Fusion",
-            "#Fusion Improv.",
-        ],
-        title="Table 2: OnePerc vs OneQ (repeat-until-success)",
-    )
-    for row in rows:
-        oneq_rsl = f">{row.oneq_rsl:,}" if row.oneq_capped else f"{row.oneq_rsl:,}"
-        table.add_row(
-            row.fusion_rate,
-            row.benchmark,
-            oneq_rsl,
-            row.oneperc_rsl,
-            f"{row.rsl_improvement:,.2f}",
-            row.oneq_fusions,
-            row.oneperc_fusions,
-            f"{row.fusion_improvement:.3g}",
-        )
-    return table.render()
+            table.add_row(
+                row["fusion_rate"],
+                row["benchmark"],
+                oneq_rsl,
+                row["oneperc_rsl"],
+                f"{row['rsl_improvement']:,.2f}",
+                row["oneq_fusions"],
+                row["oneperc_fusions"],
+                f"{row['fusion_improvement']:.3g}",
+            )
+        return table.render()

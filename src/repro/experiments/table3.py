@@ -8,16 +8,24 @@ wait and unlocks 100 qubits at a ~10-20 % #RSL overhead.
 #RSL here is estimated from the logical layer count via the stable PL ratio
 (Fig. 13(b)) — exactly how the artifact's refresh.ipynb computes it, since
 running the online pass at the 100-qubit scale is unnecessary for a memory
-experiment.
+experiment.  Each cell is two :class:`FnJob`\\ s (budgeted non-refreshed +
+refreshed) over a pipeline ablated to ``TranslatePass -> OfflineMapPass``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Any, Sequence
 
 from repro.circuits.benchmarks import make_benchmark
 from repro.errors import MemoryBudgetExceeded
-from repro.experiments.common import check_scale
+from repro.experiments.api import (
+    Experiment,
+    ExperimentRecord,
+    FnJob,
+    Job,
+    group_cells,
+    register,
+)
 from repro.pipeline import (
     OfflineMapPass,
     Pipeline,
@@ -54,34 +62,19 @@ SCALE_QUBITS = {
 SCALE_REFRESH = {"bench": 10, "paper": REFRESH_EVERY}
 
 
-@dataclass
-class Table3Row:
-    benchmark: str
-    num_qubits: int
-    non_refreshed_rsl: int | None  # None == '-' (exceeds the budget)
-    refreshed_rsl: int
-    non_refreshed_peak_bytes: int | None
-    refreshed_peak_bytes: int
-
-    @property
-    def overhead(self) -> float | None:
-        if self.non_refreshed_rsl is None:
-            return None
-        return self.refreshed_rsl / self.non_refreshed_rsl - 1.0
-
-
-def _map_layers(
+def map_case(
     family: str,
     qubits: int,
     refresh_every: int | None,
     budget: int | None,
     seed: int,
-) -> tuple[int, int]:
-    """(logical layers, peak memory bytes) for one mapping configuration.
+) -> dict[str, Any]:
+    """Fields for one mapping configuration (one Table 3 half-cell).
 
     A memory experiment needs no online pass, so the pipeline is ablated to
     the first two stages — exactly the kind of stage surgery the pass
-    architecture exists for.
+    architecture exists for.  A budget overrun is a *result* here (the
+    paper's '-' entries), not a failure.
     """
     circuit = make_benchmark(family, qubits, seed=seed)
     settings = PipelineSettings(
@@ -91,82 +84,116 @@ def _map_layers(
         bytes_per_node_layer=BYTES_PER_NODE_LAYER,
     )
     pipeline = Pipeline(settings, passes=(TranslatePass(), OfflineMapPass()))
-    ctx = pipeline.run_circuit(circuit, seed=seed)
-    result = ctx.require("mapping")
-    return result.layer_count, result.peak_memory_bytes
-
-
-def run_case(
-    family: str,
-    qubits: int,
-    refresh_every: int,
-    seed: int = 0,
-    budget: int | None = None,
-) -> Table3Row:
-    """One Table 3 row: non-refreshed (budgeted) vs refreshed mapping.
-
-    The budget is enforced on the non-refreshed run (producing the paper's
-    '-' rows); the refreshed run reports its peak so the reduction is
-    visible even where it lands near the budget.
-    """
-    if budget is None:
-        budget = SCALE_BUDGET["bench"]
     try:
-        layers, peak = _map_layers(family, qubits, None, budget, seed)
-        non_refreshed = (int(layers * PL_RATIO), peak)
+        ctx = pipeline.run_circuit(circuit, seed=seed)
     except MemoryBudgetExceeded:
-        non_refreshed = None
-    refreshed_layers, refreshed_peak = _map_layers(
-        family, qubits, refresh_every, None, seed
-    )
-    return Table3Row(
-        benchmark=family.upper(),
-        num_qubits=qubits,
-        non_refreshed_rsl=None if non_refreshed is None else non_refreshed[0],
-        refreshed_rsl=int(refreshed_layers * PL_RATIO),
-        non_refreshed_peak_bytes=None if non_refreshed is None else non_refreshed[1],
-        refreshed_peak_bytes=refreshed_peak,
-    )
+        return {
+            "budget_exceeded": True,
+            "logical_layers": None,
+            "peak_memory_bytes": None,
+            "rsl_estimate": None,
+        }
+    result = ctx.require("mapping")
+    return {
+        "budget_exceeded": False,
+        "logical_layers": int(result.layer_count),
+        "peak_memory_bytes": int(result.peak_memory_bytes),
+        "rsl_estimate": int(result.layer_count * PL_RATIO),
+    }
 
 
-def run(scale: str = "bench", seed: int = 0) -> tuple[list[Table3Row], str]:
-    check_scale(scale)
-    refresh_every = SCALE_REFRESH[scale]
-    budget = SCALE_BUDGET[scale]
-    rows = [
-        run_case(family, qubits, refresh_every, seed=seed, budget=budget)
-        for family in FAMILIES
-        for qubits in SCALE_QUBITS[scale]
-    ]
-    return rows, render(rows, refresh_every)
-
-
-def render(rows: list[Table3Row], refresh_every: int) -> str:
-    table = TextTable(
-        [
-            "Benchmark",
-            "#Qubits",
-            "Non-refreshed #RSL",
-            "Refreshed #RSL",
-            "Overhead",
-            "Peak RAM (no refresh)",
-            "Peak RAM (refresh)",
-        ],
-        title=(
-            f"Table 3: refresh every {refresh_every} layers "
-            "(budget enforced on the non-refreshed runs)"
-        ),
-    )
-    for row in rows:
-        table.add_row(
-            row.benchmark,
-            row.num_qubits,
-            "-" if row.non_refreshed_rsl is None else f"{row.non_refreshed_rsl:,}",
-            row.refreshed_rsl,
-            "-" if row.overhead is None else f"{row.overhead:+.1%}",
-            "-"
-            if row.non_refreshed_peak_bytes is None
-            else f"{row.non_refreshed_peak_bytes / 2**30:.1f} GiB",
-            f"{row.refreshed_peak_bytes / 2**30:.1f} GiB",
+def paired_rows(records: Sequence[ExperimentRecord]) -> list[dict[str, Any]]:
+    """Zip each cell's (non-refreshed, refreshed) records into one row."""
+    rows = []
+    for row, cell in group_cells(records, ("benchmark", "num_qubits")):
+        for record in cell:
+            fields = record.fields
+            prefix = "refreshed" if fields["refreshed"] else "non_refreshed"
+            row[f"{prefix}_rsl"] = fields["rsl_estimate"]
+            row[f"{prefix}_peak_bytes"] = fields["peak_memory_bytes"]
+        row["overhead"] = (
+            None
+            if row["non_refreshed_rsl"] is None
+            else row["refreshed_rsl"] / row["non_refreshed_rsl"] - 1.0
         )
-    return table.render()
+        rows.append(row)
+    return rows
+
+
+@register
+class Table3Experiment(Experiment):
+    name = "table3"
+    description = "refresh mechanism's memory/#RSL trade under a RAM budget"
+
+    def build_jobs(self, scale: str, seed: int) -> list[Job]:
+        refresh_every = SCALE_REFRESH[scale]
+        budget = SCALE_BUDGET[scale]
+        jobs: list[Job] = []
+        for family in FAMILIES:
+            for qubits in SCALE_QUBITS[scale]:
+                benchmark = family.upper()
+                for refreshed in (False, True):
+                    # The budget is enforced on the non-refreshed run
+                    # (producing the paper's '-' rows); the refreshed run
+                    # reports its peak so the reduction is visible even
+                    # where it lands near the budget.
+                    jobs.append(
+                        FnJob(
+                            key=f"{family}{qubits}/{'refreshed' if refreshed else 'raw'}",
+                            meta={
+                                "benchmark": benchmark,
+                                "num_qubits": qubits,
+                                "refreshed": refreshed,
+                                "refresh_every": refresh_every if refreshed else None,
+                            },
+                            fn=map_case,
+                            kwargs={
+                                "family": family,
+                                "qubits": qubits,
+                                "refresh_every": refresh_every if refreshed else None,
+                                "budget": None if refreshed else budget,
+                                "seed": seed,
+                            },
+                        )
+                    )
+        return jobs
+
+    def render(self, records: Sequence[ExperimentRecord]) -> str:
+        refresh_every = next(
+            (
+                record.fields["refresh_every"]
+                for record in records
+                if record.fields.get("refresh_every") is not None
+            ),
+            REFRESH_EVERY,
+        )
+        table = TextTable(
+            [
+                "Benchmark",
+                "#Qubits",
+                "Non-refreshed #RSL",
+                "Refreshed #RSL",
+                "Overhead",
+                "Peak RAM (no refresh)",
+                "Peak RAM (refresh)",
+            ],
+            title=(
+                f"Table 3: refresh every {refresh_every} layers "
+                "(budget enforced on the non-refreshed runs)"
+            ),
+        )
+        for row in paired_rows(records):
+            table.add_row(
+                row["benchmark"],
+                row["num_qubits"],
+                "-"
+                if row["non_refreshed_rsl"] is None
+                else f"{row['non_refreshed_rsl']:,}",
+                row["refreshed_rsl"],
+                "-" if row["overhead"] is None else f"{row['overhead']:+.1%}",
+                "-"
+                if row["non_refreshed_peak_bytes"] is None
+                else f"{row['non_refreshed_peak_bytes'] / 2**30:.1f} GiB",
+                f"{row['refreshed_peak_bytes'] / 2**30:.1f} GiB",
+            )
+        return table.render()

@@ -5,16 +5,17 @@
 pass list (the stages), and the machinery that stamps out one
 :class:`~repro.pipeline.context.PassContext` per compilation, validates each
 pass's artifact contract, and times every stage.  ``compile_many`` fans a
-sweep of (circuit, seed) jobs over a thread pool; determinism is preserved
-because each job derives its own RNG streams from its seed and circuit name
-— execution order never feeds the randomness.
+sweep of (circuit, seed) jobs over a thread or process pool; determinism is
+preserved because each job derives its own RNG streams from its seed and
+circuit name — execution order never feeds the randomness.
 """
 
 from __future__ import annotations
 
+import functools
 import time
 from collections.abc import Iterable, Sequence
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from repro.baseline.retry import BaselineResult
 from repro.circuits.circuit import Circuit
@@ -30,6 +31,21 @@ from repro.pipeline.passes import (
 )
 from repro.pipeline.result import CompilationResult
 from repro.pipeline.settings import PipelineSettings
+
+
+def _compile_one(
+    pipeline: "Pipeline", baseline: bool, circuit: Circuit, seed: int | None
+):
+    """One batch job (module-level so process pools can pickle it).
+
+    Batch failures must name their job: a sweep of dozens of circuits is
+    undebuggable from a bare per-pass exception.
+    """
+    one = pipeline.compile_baseline if baseline else pipeline.compile
+    try:
+        return one(circuit, seed)
+    except Exception as exc:
+        raise CompilationError(f"compiling {circuit.name}: {exc}") from exc
 
 
 def default_passes() -> tuple[CompilerPass, ...]:
@@ -126,14 +142,27 @@ class Pipeline:
         seeds: int | Sequence[int | None] | None = None,
         max_workers: int | None = None,
         baseline: bool = False,
-    ) -> list[CompilationResult] | list[BaselineResult]:
-        """Compile a batch of circuits, optionally across a thread pool.
+        backend: str | None = None,
+        executor=None,
+        as_futures: bool = False,
+    ) -> list[CompilationResult] | list[BaselineResult] | list:
+        """Compile a batch of circuits, optionally across a worker pool.
 
         ``seeds`` is either one root seed shared by every job (each job's
         streams stay independent because they are keyed by circuit name) or
-        a per-circuit sequence.  Results come back in input order and are
-        identical for any ``max_workers`` — the per-job RNG derivation never
-        sees the scheduler.
+        a per-circuit sequence.  ``backend`` selects the execution strategy:
+        ``"serial"``, ``"thread"``, or ``"process"`` (contexts are
+        self-contained and picklable, so the process pool is a pure runner
+        swap); ``None`` keeps the legacy inference — a thread pool when
+        ``max_workers > 1``, serial otherwise.  A caller managing many
+        batches (the experiment runners) can pass a live ``executor``
+        instead, so one pool serves every batch rather than paying startup
+        per call; with ``as_futures=True`` the batch is submitted without
+        blocking and the input-ordered ``Future`` list comes back, letting
+        the caller keep the pool saturated across batches.  Results come
+        back in input order and are identical for any backend, pool, and
+        ``max_workers`` — the per-job RNG derivation never sees the
+        scheduler.
         """
         jobs = list(circuits)
         if seeds is None or isinstance(seeds, int):
@@ -144,17 +173,34 @@ class Pipeline:
                 raise CompilationError(
                     f"{len(jobs)} circuits but {len(job_seeds)} seeds supplied"
                 )
-        one = self.compile_baseline if baseline else self.compile
-
-        def runner(circuit: Circuit, seed: int | None):
-            # Batch failures must name their job: a sweep of dozens of
-            # circuits is undebuggable from a bare per-pass exception.
-            try:
-                return one(circuit, seed)
-            except Exception as exc:
-                raise CompilationError(f"compiling {circuit.name}: {exc}") from exc
-
-        if max_workers is None or max_workers <= 1:
+        runner = functools.partial(_compile_one, self, baseline)
+        if as_futures and executor is None:
+            raise CompilationError("as_futures=True requires an executor")
+        if executor is not None and (backend is not None or max_workers is not None):
+            raise CompilationError(
+                "executor conflicts with backend/max_workers: the supplied "
+                "pool already fixes both"
+            )
+        if executor is not None:
+            futures = [
+                executor.submit(runner, circuit, seed)
+                for circuit, seed in zip(jobs, job_seeds)
+            ]
+            if as_futures:
+                return futures
+            return [future.result() for future in futures]
+        if backend is None:
+            backend = "thread" if max_workers is not None and max_workers > 1 else "serial"
+        if backend == "serial":
             return [runner(circuit, seed) for circuit, seed in zip(jobs, job_seeds)]
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        if backend == "thread":
+            pool_cls = ThreadPoolExecutor
+        elif backend == "process":
+            pool_cls = ProcessPoolExecutor
+        else:
+            raise CompilationError(
+                f"unknown compile_many backend {backend!r}; "
+                "use 'serial', 'thread', or 'process'"
+            )
+        with pool_cls(max_workers=max_workers) as pool:
             return list(pool.map(runner, jobs, job_seeds))

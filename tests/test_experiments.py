@@ -1,14 +1,40 @@
-"""Smoke and shape tests for the experiment harness (tiny parameters).
+"""Unit tests for the declarative experiment API (tiny parameters).
 
-Full bench-scale regeneration lives in benchmarks/; these tests exercise the
-experiment code paths and the headline *shape* claims at the smallest sizes
-that still show them.
+Full bench-scale regeneration and the cross-runner determinism suite live in
+benchmarks/; these tests exercise the registry, record/result plumbing, job
+builders, and the runner contract at the smallest sizes that still show the
+behavior.
 """
+
+import json
 
 import pytest
 
-from repro.experiments import fig12, fig13, fig14, fig15, fig16, table2, table3
-from repro.experiments.common import BenchmarkCase, check_scale, stream_for, sweep
+from repro.errors import ReproError
+from repro.experiments import (
+    EXPERIMENT_REGISTRY,
+    CompileJob,
+    Experiment,
+    ExperimentRecord,
+    FnJob,
+    ProcessRunner,
+    SerialRunner,
+    ThreadRunner,
+    UnknownExperimentError,
+    canonical_json,
+    experiment_names,
+    fig13,
+    fig16,
+    get_experiment,
+    loss,
+    make_runner,
+    table2,
+    table3,
+)
+from repro.experiments.common import BenchmarkCase, check_scale, stream_for
+from repro.pipeline import PipelineSettings
+
+EXPECTED_NAMES = ["table2", "table3", "fig12", "fig13", "fig14", "fig15", "fig16", "loss"]
 
 
 class TestCommon:
@@ -25,62 +51,226 @@ class TestCommon:
         b = stream_for("x", seed=1).generator.random()
         assert a == b
 
-    def test_sweep_averages(self):
-        rows = sweep([1, 2], lambda point, trial: point * 10 + trial, trials=2)
-        assert rows == [(1, 10.5), (2, 20.5)]
+
+class TestRegistry:
+    def test_all_experiments_registered_in_order(self):
+        assert experiment_names() == EXPECTED_NAMES
+
+    def test_get_experiment(self):
+        assert get_experiment("fig16").name == "fig16"
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(UnknownExperimentError) as excinfo:
+            get_experiment("fig99")
+        message = str(excinfo.value)
+        assert "fig99" in message
+        for name in EXPECTED_NAMES:
+            assert name in message
+
+    def test_descriptions_present(self):
+        for experiment in EXPERIMENT_REGISTRY.values():
+            assert experiment.description
 
 
-class TestTable2:
-    def test_single_cell_shape(self):
-        row = table2.run_case(
-            BenchmarkCase("qaoa", 4), fusion_rate=0.75, rsl_cap=3000, node_side=12, seed=0
+class TestRecords:
+    def record(self):
+        return ExperimentRecord(
+            experiment="toy",
+            scale="bench",
+            seed=0,
+            job="a/x=1",
+            fields={"x": 1, "value": 2.5},
+            timings={"seconds": 0.123},
         )
-        assert row.oneperc_rsl > 0
-        assert row.oneq_capped  # OneQ cannot survive p = 0.75
-        assert row.rsl_improvement > 1.0
 
-    def test_oneq_wins_fusions_at_tiny_scale_high_rate(self):
-        """At 4 qubits and p=0.9 OnePerc spends more fusions (Table 2)."""
-        row = table2.run_case(
-            BenchmarkCase("vqe", 4), fusion_rate=0.9, rsl_cap=10**5, node_side=12, seed=0
-        )
-        assert row.fusion_improvement < 1.0
+    def test_canonical_excludes_timings(self):
+        canonical = self.record().canonical()
+        assert canonical["fields"] == {"x": 1, "value": 2.5}
+        assert "timings" not in canonical
 
-    def test_render_contains_benchmarks(self):
-        row = table2.run_case(
-            BenchmarkCase("qaoa", 4), fusion_rate=0.9, rsl_cap=10**4, node_side=12
+    def test_canonical_json_ignores_wall_clock(self):
+        fast = self.record()
+        slow = ExperimentRecord(
+            "toy", "bench", 0, "a/x=1", {"x": 1, "value": 2.5}, {"seconds": 99.0}
         )
-        text = table2.render([row])
-        assert "QAOA-4" in text
+        assert canonical_json([fast]) == canonical_json([slow])
+
+    def test_flat_row_prefixes_timings(self):
+        row = self.record().flat()
+        assert row["t_seconds"] == 0.123
+        assert row["job"] == "a/x=1"
+
+
+def _toy_point(x: int, seed: int) -> dict:
+    rng = stream_for("toy", seed).child(x).generator
+    return {"x": x, "value": float(rng.integers(0, 1000))}
+
+
+def _exploding_point() -> dict:
+    raise ValueError("kaboom")
+
+
+class ToyExperiment(Experiment):
+    """Tiny mixed-job experiment used to exercise the runner contract."""
+
+    name = "toy"
+    description = "toy"
+
+    def build_jobs(self, scale, seed):
+        jobs = [
+            FnJob(key=f"fn/{x}", fn=_toy_point, kwargs={"x": x, "seed": seed})
+            for x in range(4)
+        ]
+        settings = PipelineSettings(
+            fusion_success_rate=0.9, rsl_size=24, virtual_size=2, max_rsl=10**5
+        )
+        jobs.append(
+            CompileJob(
+                key="compile/qaoa4",
+                meta={"benchmark": "QAOA-4", "compiler": "oneperc"},
+                family="qaoa",
+                num_qubits=4,
+                settings=settings,
+                seed=seed,
+            )
+        )
+        return jobs
+
+    def render(self, records):
+        return f"{len(records)} records"
+
+
+class TestRunners:
+    def test_all_backends_and_worker_counts_agree(self):
+        experiment = ToyExperiment()
+        reference = experiment.run("bench", seed=3, runner=SerialRunner())
+        for runner in (
+            ThreadRunner(max_workers=2),
+            ThreadRunner(max_workers=4),
+            ProcessRunner(max_workers=2),
+        ):
+            result = experiment.run("bench", seed=3, runner=runner)
+            assert canonical_json(result.records) == canonical_json(reference.records)
+            assert result.runner == runner.name
+
+    def test_records_in_job_order(self):
+        result = ToyExperiment().run("bench", seed=0)
+        assert [record.job for record in result.records] == [
+            "fn/0",
+            "fn/1",
+            "fn/2",
+            "fn/3",
+            "compile/qaoa4",
+        ]
+
+    def test_compile_record_fields_and_timings(self):
+        result = ToyExperiment().run("bench", seed=0)
+        record = result.records[-1]
+        assert record.fields["rsl_count"] > 0
+        assert record.fields["benchmark"] == "QAOA-4"
+        assert "online-reshape" in record.timings
+
+    def test_runner_by_name_and_unknown(self):
+        assert make_runner("thread", 2).max_workers == 2
+        with pytest.raises(ReproError, match="serial, thread, process"):
+            make_runner("gpu")
+
+    def test_result_exports(self):
+        result = ToyExperiment().run("bench", seed=0)
+        obj = result.to_json_obj()
+        assert obj["experiment"] == "toy"
+        assert len(obj["records"]) == 5
+        json.dumps(obj)  # JSON-serializable end to end
+        csv_text = result.to_csv()
+        header = csv_text.splitlines()[0].split(",")
+        assert header[:4] == ["experiment", "scale", "seed", "job"]
+        assert "value" in header and "rsl_count" in header
+
+    def test_reduce_rejects_empty(self):
+        with pytest.raises(ReproError):
+            ToyExperiment().reduce([])
+
+    def test_unsupported_scale_rejected(self):
+        experiment = ToyExperiment()
+        experiment.scales = ("bench",)
+        with pytest.raises(ReproError, match="supports scales"):
+            experiment.run("paper")
+
+    @pytest.mark.parametrize("runner", [SerialRunner(), ThreadRunner(max_workers=2)])
+    def test_failures_name_the_job(self, runner):
+        jobs = [FnJob(key="boom/1", fn=_exploding_point, kwargs={})]
+        with pytest.raises(ReproError, match="boom/1"):
+            runner.run_jobs(jobs, experiment="toy", scale="bench", seed=0)
+
+
+class TestJobBuilders:
+    """The declarative halves, without executing the heavy jobs."""
+
+    def test_table2_pairs_oneperc_with_oneq(self):
+        jobs = get_experiment("table2").build_jobs("bench", seed=0)
+        assert all(isinstance(job, CompileJob) for job in jobs)
+        by_compiler = {"oneperc": 0, "oneq": 0}
+        for job in jobs:
+            by_compiler[job.meta["compiler"]] += 1
+            assert job.baseline == (job.meta["compiler"] == "oneq")
+        assert by_compiler["oneperc"] == by_compiler["oneq"] == len(jobs) // 2
+
+    def test_table2_groups_share_settings(self):
+        jobs = get_experiment("table2").build_jobs("bench", seed=0)
+        distinct = {(job.settings, job.baseline) for job in jobs}
+        # One settings object per (rate, cap, node side) group, times the
+        # baseline flag — that is what compile_many batches on.
+        assert len(distinct) == 2 * len(table2.SCALE_SETTINGS["bench"])
+
+    def test_fig13_mixes_job_kinds(self):
+        jobs = get_experiment("fig13").build_jobs("bench", seed=0)
+        kinds = {type(job) for job in jobs}
+        assert kinds == {CompileJob, FnJob}
+
+    def test_keys_unique_across_all_experiments(self):
+        for experiment in EXPERIMENT_REGISTRY.values():
+            jobs = experiment.build_jobs("bench", seed=0)
+            keys = [job.key for job in jobs]
+            assert len(keys) == len(set(keys)), experiment.name
+
+    def test_jobs_are_picklable(self):
+        import pickle
+
+        for experiment in EXPERIMENT_REGISTRY.values():
+            for job in experiment.build_jobs("bench", seed=0):
+                pickle.loads(pickle.dumps(job))
 
 
 class TestTable3:
-    def test_refresh_row_shape(self):
-        row = table3.run_case("rca", 9, refresh_every=5, seed=0)
-        assert row.non_refreshed_rsl is not None  # small program fits
-        assert row.refreshed_rsl >= row.non_refreshed_rsl
-        assert row.refreshed_peak_bytes <= row.non_refreshed_peak_bytes
-
     def test_budget_dash(self):
-        row = table3.run_case(
-            "qft", 16, refresh_every=5, seed=0, budget=64 * 2**20
-        )
-        assert row.non_refreshed_rsl is None
-        assert row.refreshed_rsl > 0
-        assert row.overhead is None
+        experiment = get_experiment("table3")
+        fields = table3.map_case("qft", 16, refresh_every=None, budget=64 * 2**20, seed=0)
+        assert fields["budget_exceeded"]
+        assert fields["rsl_estimate"] is None
+        refreshed = table3.map_case("qft", 16, refresh_every=5, budget=None, seed=0)
+        assert refreshed["rsl_estimate"] > 0
+        records = [
+            ExperimentRecord(
+                "table3", "bench", 0, "qft16/raw",
+                {**fields, "benchmark": "QFT", "num_qubits": 16, "refreshed": False,
+                 "refresh_every": None},
+            ),
+            ExperimentRecord(
+                "table3", "bench", 0, "qft16/refreshed",
+                {**refreshed, "benchmark": "QFT", "num_qubits": 16, "refreshed": True,
+                 "refresh_every": 5},
+            ),
+        ]
+        assert "-" in experiment.render(records)
 
-    def test_render_dash(self):
-        row = table3.run_case("qft", 16, refresh_every=5, seed=0, budget=64 * 2**20)
-        assert "-" in table3.render([row], refresh_every=5)
+    def test_refresh_bounds_memory(self):
+        raw = table3.map_case("rca", 9, refresh_every=None, budget=None, seed=0)
+        refreshed = table3.map_case("rca", 9, refresh_every=5, budget=None, seed=0)
+        assert refreshed["rsl_estimate"] >= raw["rsl_estimate"]
+        assert refreshed["peak_memory_bytes"] <= raw["peak_memory_bytes"]
 
 
-class TestFigures:
-    def test_fig12_resource_size_trend(self):
-        """7-qubit stars need fewer RSLs than 4-qubit stars (Fig. 12(a))."""
-        small = fig12._compile_rsl("qaoa", 4, 2, 4, 48, 0.75, seed=0)
-        large = fig12._compile_rsl("qaoa", 4, 2, 7, 48, 0.75, seed=0)
-        assert large < small
-
+class TestFigureHelpers:
     def test_fig13_suitable_node_size_definition(self):
         from repro.utils.rng import ensure_rng
 
@@ -104,17 +294,6 @@ class TestFigures:
         high = fig16.success_rate(36, 12, 0.85, trials=10, rng=rng)
         assert high >= low
 
-    def test_fig14_result_dataclass(self):
-        result = fig14.Fig14Result()
-        result.per_program.append(("X", 0.1))
-        assert "X" in fig14.render(result)
-
-    def test_fig15_mapping_timer(self):
-        seconds, layers = fig15._time_mapping("qaoa", 4, 3, seed=0)
-        assert seconds > 0
-        assert layers > 0
-
-    def test_fig13_modularity_section_renders(self):
-        result = fig13.Fig13Result()
-        result.modularity.append(("non-modular (unlimited)", 64.0, 1000.0))
-        assert "non-modular" in fig13.render(result)
+    def test_loss_effective_rate(self):
+        assert loss.effective_rate(0.0) == pytest.approx(0.78)
+        assert loss.effective_rate(0.1) == pytest.approx(0.78 * 0.9**2)

@@ -91,14 +91,14 @@ class TestLifetimeEnforcement:
 
 class TestLossExperiment:
     def test_bench_scale_runs_and_degrades(self):
-        from repro.experiments import loss
+        from repro.experiments import run_experiment
 
-        points, text = loss.run("bench")
-        assert "Loss rate" in text
+        result = run_experiment("loss", "bench")
+        assert "Loss rate" in result.text
         by_benchmark: dict[str, list[tuple[float, int]]] = {}
-        for point in points:
-            by_benchmark.setdefault(point.benchmark, []).append(
-                (point.loss_rate, point.rsl_count)
+        for record in result.records:
+            by_benchmark.setdefault(record.fields["benchmark"], []).append(
+                (record.fields["loss_rate"], record.fields["rsl_count"])
             )
         for series in by_benchmark.values():
             series.sort()

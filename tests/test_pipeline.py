@@ -195,6 +195,83 @@ class TestCompileMany:
         )
         assert all(r.rsl_count > 0 for r in results)
 
+    def test_process_backend_matches_serial(self):
+        pipeline = Pipeline(SETTINGS, seed=5)
+        serial = pipeline.compile_many(self.CIRCUITS, backend="serial")
+        processed = pipeline.compile_many(
+            self.CIRCUITS, backend="process", max_workers=2
+        )
+        assert self._metrics(serial) == self._metrics(processed)
+
+    def test_thread_backend_explicit(self):
+        pipeline = Pipeline(SETTINGS, seed=5)
+        threaded = pipeline.compile_many(
+            self.CIRCUITS, backend="thread", max_workers=1
+        )
+        assert self._metrics(threaded) == self._metrics(
+            pipeline.compile_many(self.CIRCUITS)
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(CompilationError, match="backend"):
+            Pipeline(SETTINGS).compile_many(self.CIRCUITS[:1], backend="gpu")
+
+    def test_caller_owned_executor_and_futures(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        pipeline = Pipeline(SETTINGS, seed=5)
+        serial = pipeline.compile_many(self.CIRCUITS)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            shared = pipeline.compile_many(self.CIRCUITS, executor=pool)
+            futures = pipeline.compile_many(
+                self.CIRCUITS, executor=pool, as_futures=True
+            )
+            gathered = [future.result() for future in futures]
+        assert self._metrics(serial) == self._metrics(shared)
+        assert self._metrics(serial) == self._metrics(gathered)
+
+    def test_as_futures_requires_executor(self):
+        with pytest.raises(CompilationError, match="executor"):
+            Pipeline(SETTINGS).compile_many(self.CIRCUITS[:1], as_futures=True)
+
+    def test_executor_conflicts_with_backend_knobs(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            with pytest.raises(CompilationError, match="conflicts"):
+                Pipeline(SETTINGS).compile_many(
+                    self.CIRCUITS[:1], executor=pool, backend="process"
+                )
+            with pytest.raises(CompilationError, match="conflicts"):
+                Pipeline(SETTINGS).compile_many(
+                    self.CIRCUITS[:1], executor=pool, max_workers=8
+                )
+
+    def test_process_backend_failures_name_the_job(self):
+        pipeline = Pipeline(PipelineSettings(max_rsl=1), seed=0)
+        with pytest.raises(CompilationError, match="qaoa-4"):
+            pipeline.compile_many(
+                self.CIRCUITS[:1], backend="process", max_workers=2
+            )
+
+    def test_jobs_and_results_are_picklable(self):
+        # The process backend's contract: pipelines, circuits, and both
+        # result types round-trip through pickle unchanged where it counts.
+        import pickle
+
+        pipeline = Pipeline(SETTINGS, seed=5)
+        clone = pickle.loads(pickle.dumps(pipeline))
+        circuit = pickle.loads(pickle.dumps(self.CIRCUITS[0]))
+        original = pipeline.compile(self.CIRCUITS[0])
+        from_clone = clone.compile(circuit)
+        assert self._metrics([original]) == self._metrics([from_clone])
+        restored = pickle.loads(pickle.dumps(original))
+        assert restored.rsl_count == original.rsl_count
+        baseline = Pipeline(
+            PipelineSettings(fusion_success_rate=0.9, max_rsl=10**4), seed=0
+        ).compile_baseline(self.CIRCUITS[0])
+        assert pickle.loads(pickle.dumps(baseline)).rsl_count == baseline.rsl_count
+
 
 class TestVectorizedComponents:
     """The numpy flood fill must agree exactly with the union-find oracle."""
