@@ -10,7 +10,26 @@ doubles as the paper-reproduction report; EXPERIMENTS.md records a checked-in
 copy.
 """
 
+from pathlib import Path
+
 import pytest
+
+_BENCH_DIR = Path(__file__).parent.resolve()
+
+
+def pytest_collection_modifyitems(items):
+    """Auto-mark everything under benchmarks/ as ``bench``.
+
+    The marker (registered in pytest.ini) lets CI split the blocking unit
+    job from the non-blocking bench job without duplicating path lists.
+    """
+    for item in items:
+        try:
+            path = Path(str(item.fspath)).resolve()
+        except OSError:  # pragma: no cover - exotic collectors
+            continue
+        if _BENCH_DIR in path.parents:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture

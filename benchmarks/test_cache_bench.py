@@ -1,0 +1,154 @@
+"""Perf snapshot for the artifact cache and the vectorized strip pre-check.
+
+Two measurements land in ``benchmarks/BENCH_cache.json``:
+
+* **Seed sweep, cached vs uncached** — a Table-2-style sweep (every
+  benchmark family at 4 qubits, p = 0.9, three pipeline seeds per circuit)
+  run three ways: no cache, cold cache (first sight of every artifact), and
+  warm cache (the sweep re-run against the filled store).  The cold run
+  already shares the deterministic translate/offline-map prefix across the
+  seed axis; the warm run hits every stage, which is the artifact cache's
+  headline: re-running a sweep — the golden-determinism suite, a crashed
+  sweep resumed, a what-if on the analysis side — costs deserialization,
+  not recompilation.  The floor asserts warm >= 3x uncached.
+
+* **Strip pre-check, vector vs DSU** — the renormalization connectivity
+  pre-check measured standalone over percolated lattices near threshold
+  (negative checks dominate there, which is why this is the hot path), the
+  numpy label propagation against the scalar union-find oracle, with a
+  no-regression floor on the speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.circuits.benchmarks import make_benchmark
+from repro.online.percolation import sample_lattice
+from repro.online.renormalize import strip_spans, strip_spans_dsu
+from repro.pipeline import MemoryCache, Pipeline, PipelineSettings
+
+SNAPSHOT = Path(__file__).parent / "BENCH_cache.json"
+
+FAMILIES = ("qaoa", "qft", "rca", "vqe")
+SEEDS = (0, 1, 2)  # pipeline seeds; the circuits themselves stay fixed
+
+SETTINGS = PipelineSettings(
+    fusion_success_rate=0.9, resource_state_size=4, node_side=12, max_rsl=10**5
+)
+
+#: The acceptance floor: a warm-cache sweep must compile >= 3x faster.
+WARM_FLOOR = 3.0
+#: No-regression floor for the vectorized pre-check micro-benchmark.
+PRECHECK_FLOOR = 1.3
+
+#: Pre-check micro-benchmark shape: strips of a near-threshold lattice.
+PRECHECK_SIZE = 96
+PRECHECK_RATE = 0.55
+PRECHECK_STRIPS = 8
+PRECHECK_ROUNDS = 5
+
+
+def _sweep_jobs():
+    circuits = [make_benchmark(family, 4, seed=0) for family in FAMILIES]
+    sweep = [circuit for circuit in circuits for _ in SEEDS]
+    seeds = [seed for _ in circuits for seed in SEEDS]
+    return sweep, seeds
+
+
+def _seconds(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_cached_sweep_throughput_snapshot():
+    sweep, seeds = _sweep_jobs()
+    uncached = Pipeline(SETTINGS)
+    uncached.compile(sweep[0], seed=seeds[0])  # warm-up: lazy imports, dispatch
+
+    uncached_s = _seconds(lambda: uncached.compile_many(sweep, seeds=seeds))
+
+    cache = MemoryCache()
+    cached = uncached.with_cache(cache)
+    cold_s = _seconds(lambda: cached.compile_many(sweep, seeds=seeds))
+    cold_hits, cold_misses = cache.hits, cache.misses
+    warm_s = _seconds(lambda: cached.compile_many(sweep, seeds=seeds))
+    warm_hits = cache.hits - cold_hits
+
+    warm_speedup = uncached_s / warm_s
+    cold_speedup = uncached_s / cold_s
+
+    # -- strip pre-check micro-benchmark -----------------------------------
+    lattice = sample_lattice(PRECHECK_SIZE, PRECHECK_RATE, np.random.default_rng(1))
+    strips = [
+        ((index * PRECHECK_SIZE) // PRECHECK_STRIPS,
+         ((index + 1) * PRECHECK_SIZE) // PRECHECK_STRIPS)
+        for index in range(PRECHECK_STRIPS)
+    ]
+
+    def run_precheck(check) -> float:
+        best = float("inf")
+        for _ in range(PRECHECK_ROUNDS):
+            start = time.perf_counter()
+            for vertical in (True, False):
+                for low, high in strips:
+                    check(lattice, vertical, low, high)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    dsu_s = run_precheck(strip_spans_dsu)
+    vector_s = run_precheck(strip_spans)
+    precheck_speedup = dsu_s / vector_s
+
+    snapshot = {
+        "sweep": {
+            "families": list(FAMILIES),
+            "num_qubits": 4,
+            "pipeline_seeds": list(SEEDS),
+            "fusion_success_rate": SETTINGS.fusion_success_rate,
+            "jobs": len(sweep),
+        },
+        "python": platform.python_version(),
+        "uncached": {"total_s": uncached_s, "ops_per_s": len(sweep) / uncached_s},
+        "cold_cache": {
+            "total_s": cold_s,
+            "ops_per_s": len(sweep) / cold_s,
+            "hits": cold_hits,
+            "misses": cold_misses,
+        },
+        "warm_cache": {
+            "total_s": warm_s,
+            "ops_per_s": len(sweep) / warm_s,
+            "hits": warm_hits,
+        },
+        "cold_over_uncached": cold_speedup,
+        "warm_over_uncached": warm_speedup,
+        "precheck": {
+            "lattice_size": PRECHECK_SIZE,
+            "bond_probability": PRECHECK_RATE,
+            "strips": PRECHECK_STRIPS,
+            "dsu_s": dsu_s,
+            "vector_s": vector_s,
+            "vector_over_dsu": precheck_speedup,
+        },
+    }
+    SNAPSHOT.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+    # The cold run's prefix sharing: every circuit's translate/offline-map
+    # computed once, then hit for the other seeds of the seed axis.
+    assert cold_hits == 2 * len(FAMILIES) * (len(SEEDS) - 1)
+    assert warm_hits == 3 * len(sweep)  # every stage of every job
+    assert warm_speedup >= WARM_FLOOR, (
+        f"warm-cache sweep only {warm_speedup:.2f}x over uncached "
+        f"(floor {WARM_FLOOR}x)"
+    )
+    assert precheck_speedup >= PRECHECK_FLOOR, (
+        f"vectorized pre-check only {precheck_speedup:.2f}x over the DSU "
+        f"oracle (floor {PRECHECK_FLOOR}x)"
+    )

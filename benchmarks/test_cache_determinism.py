@@ -1,0 +1,90 @@
+"""Cache-correctness matrix: golden records in every cache/runner config.
+
+The artifact cache's contract is bit-exactness: for a given (experiment,
+scale, seed) the canonical records must be byte-identical with the cache
+off (already held by the regeneration and determinism benches), cache on
+cold, cache on warm, and across the serial/thread/process runners at
+varying worker counts.  Each test walks one experiment through the matrix
+in order (cold fills what warm reads) against one shared cache, asserting
+the golden snapshot after every leg and checking the per-record hit/miss
+provenance says what the leg should have done.
+
+fig14 (compile jobs on tiny RSLs plus fn jobs) covers the full matrix
+cheaply; table2 — the paper's headline sweep, with OneQ baseline jobs whose
+repeat-until-success runs are the expensive part — covers the disk cache
+shared from a serial cold run into warm thread and process runs.
+"""
+
+from golden_records import assert_matches_golden
+
+from repro.experiments import get_experiment, make_runner
+from repro.pipeline import DiskCache, MemoryCache
+
+
+def _compile_metrics(result):
+    return [record.metrics for record in result.records if record.metrics]
+
+
+def _assert_all(result, name, counter):
+    assert_matches_golden(name, result.records)
+    per_record = _compile_metrics(result)
+    assert per_record, f"{name}: no compile-job metrics surfaced"
+    assert all(counter in metrics for metrics in per_record), (
+        f"{name}: expected every compile record to report {counter}"
+    )
+
+
+def test_fig14_matrix_memory_and_disk(tmp_path):
+    experiment = get_experiment("fig14")
+    memory = MemoryCache()
+
+    cold = experiment.run("bench", 0, make_runner("serial", cache=memory))
+    _assert_all(cold, "fig14", "cache_misses")
+
+    warm_serial = experiment.run("bench", 0, make_runner("serial", cache=memory))
+    _assert_all(warm_serial, "fig14", "cache_hits")
+    assert warm_serial.cache_stats()["hit_rate"] == 1.0
+
+    warm_thread = experiment.run(
+        "bench", 0, make_runner("thread", max_workers=3, cache=memory)
+    )
+    _assert_all(warm_thread, "fig14", "cache_hits")
+
+    disk = DiskCache(tmp_path / "fig14")
+    cold_process = experiment.run(
+        "bench", 0, make_runner("process", max_workers=2, cache=disk)
+    )
+    _assert_all(cold_process, "fig14", "cache_misses")
+
+    warm_process = experiment.run(
+        "bench", 0, make_runner("process", max_workers=3, cache=disk)
+    )
+    _assert_all(warm_process, "fig14", "cache_hits")
+    assert warm_process.cache_stats()["hit_rate"] == 1.0
+
+    # The disk cache written by process workers serves the serial runner too.
+    warm_cross = experiment.run("bench", 0, make_runner("serial", cache=disk))
+    _assert_all(warm_cross, "fig14", "cache_hits")
+
+
+def test_table2_disk_cache_shared_across_runners(tmp_path):
+    experiment = get_experiment("table2")
+    disk = DiskCache(tmp_path / "table2")
+
+    cold = experiment.run("bench", 0, make_runner("serial", cache=disk))
+    _assert_all(cold, "table2", "cache_misses")
+    # The bench sweep repeats circuits only across the compiler axis
+    # (OnePerc vs OneQ share each circuit's translate artifact).
+    assert cold.cache_stats()["hits"] > 0
+
+    warm_thread = experiment.run(
+        "bench", 0, make_runner("thread", max_workers=2, cache=disk)
+    )
+    _assert_all(warm_thread, "table2", "cache_hits")
+    assert warm_thread.cache_stats()["hit_rate"] == 1.0
+
+    warm_process = experiment.run(
+        "bench", 0, make_runner("process", max_workers=4, cache=disk)
+    )
+    _assert_all(warm_process, "table2", "cache_hits")
+    assert warm_process.cache_stats()["hit_rate"] == 1.0

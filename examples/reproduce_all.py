@@ -2,7 +2,7 @@
 
 Run:  python examples/reproduce_all.py [bench|paper] [output.md]
                                        [--runner serial|thread|process]
-                                       [--workers N]
+                                       [--workers N] [--cache-dir DIR]
 
 ``bench`` (default) uses the scaled-down parameters (a few minutes);
 ``paper`` uses the paper's own parameters (hours, as the artifact appendix
@@ -12,12 +12,18 @@ EXPERIMENTS.md's measured sections were produced this way.
 The experiment list comes from the registry (`repro.experiments.api`), so a
 newly registered experiment shows up here with no edits; the runner flags
 pick the execution backend (records are identical for every backend).
+``--cache-dir`` points every experiment of the run at one shared disk
+artifact cache (see ARCHITECTURE.md's "Artifact cache") — a re-run after a
+crash or parameter-study iteration then skips every compilation stage it
+has already seen, with records byte-identical either way.
 """
 
 import argparse
 import time
 
 from repro.experiments import EXPERIMENT_REGISTRY, RUNNERS, make_runner
+from repro.pipeline import DiskCache
+from repro.pipeline.cache import cache_summary
 
 
 def main() -> None:
@@ -26,10 +32,15 @@ def main() -> None:
     parser.add_argument("output", nargs="?", default=None, help="optional markdown path")
     parser.add_argument("--runner", default="serial", choices=list(RUNNERS))
     parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument(
+        "--cache-dir", default=None, help="shared disk artifact cache directory"
+    )
     args = parser.parse_args()
 
-    runner = make_runner(args.runner, max_workers=args.workers)
+    cache = DiskCache(args.cache_dir) if args.cache_dir else None
+    runner = make_runner(args.runner, max_workers=args.workers, cache=cache)
     sections: list[str] = []
+    cache_hits = cache_misses = 0
     for name, experiment in EXPERIMENT_REGISTRY.items():
         start = time.perf_counter()
         result = experiment.run(args.scale, runner=runner)
@@ -39,6 +50,15 @@ def main() -> None:
         print(result.text)
         print()
         sections.append(f"### {name}\n\n```\n{result.text}\n```\n")
+        stats = result.cache_stats()  # per-record counts survive process pools
+        cache_hits += stats["hits"]
+        cache_misses += stats["misses"]
+    if cache is not None:
+        totals = cache_summary(cache_hits, cache_misses)
+        print(
+            f"cache ({args.cache_dir}): {totals['hits']} hits, "
+            f"{totals['misses']} misses, hit rate {totals['hit_rate']:.0%}"
+        )
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(

@@ -17,7 +17,7 @@ simulate.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.baseline.oneq import OneQPlan
 from repro.errors import BaselineExploded
@@ -35,6 +35,9 @@ class BaselineResult:
     fusion_count: int
     restarts: int
     capped: bool = False
+    #: Pipeline ``PassContext.metrics`` provenance (cache hit/miss counts,
+    #: ...), attached by ``Pipeline.compile_baseline`` after the run.
+    metrics: dict = field(default_factory=dict, compare=False, repr=False)
 
 
 def _geometric(rng, success_probability: float, cap: int) -> int:

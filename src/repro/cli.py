@@ -10,6 +10,8 @@ Usage (also via ``python -m repro.cli``)::
     python -m repro.cli experiment --name table2 --scale bench
     python -m repro.cli experiment --name fig14 --json --runner process --workers 4
     python -m repro.cli experiment --name fig16 --out fig16.csv
+    python -m repro.cli experiment --name table2 --cache memory --json
+    python -m repro.cli experiment --name table2 --cache disk --cache-dir .cache
     python -m repro.cli percolate --size 24 --rate 0.75 --node 8
 
 The ``experiment`` subcommand is a thin shell over the experiment registry
@@ -30,9 +32,11 @@ from repro.experiments.api import (
     experiment_names,
     get_experiment,
 )
+from repro.errors import CompilationError
 from repro.experiments.common import SCALES
 from repro.experiments.runners import RUNNERS, make_runner
-from repro.pipeline import Pipeline, PipelineSettings
+from repro.pipeline import Pipeline, PipelineSettings, make_cache
+from repro.pipeline.cache import CACHE_KINDS, cache_summary
 
 
 def _add_common_compile_args(parser: argparse.ArgumentParser) -> None:
@@ -50,6 +54,34 @@ def _add_common_compile_args(parser: argparse.ArgumentParser) -> None:
         help="emit a machine-readable JSON record (with per-pass timings) "
         "instead of the human-readable report",
     )
+    _add_cache_args(parser)
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache",
+        default="off",
+        choices=list(CACHE_KINDS),
+        help="artifact cache for the deterministic pipeline stages "
+        "(results are identical with the cache on or off)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="directory for --cache disk (implies --cache disk when given "
+        "alone); disk is the backend that shares across process pools",
+    )
+
+
+def _cache_from(args: argparse.Namespace):
+    """Resolve the cache flags (``--cache-dir`` alone implies disk)."""
+    kind = args.cache
+    if kind == "off" and args.cache_dir:
+        kind = "disk"
+    try:
+        return make_cache(kind, args.cache_dir)
+    except CompilationError as exc:
+        raise SystemExit(f"cache: {exc}") from exc
 
 
 def _build_pipeline(args: argparse.Namespace) -> Pipeline:
@@ -60,7 +92,14 @@ def _build_pipeline(args: argparse.Namespace) -> Pipeline:
         virtual_size=args.virtual_size,
         max_rsl=args.max_rsl,
     )
-    return Pipeline(settings, seed=args.seed)
+    return Pipeline(settings, seed=args.seed, cache=_cache_from(args))
+
+
+def _cache_counts(metrics: dict) -> dict:
+    """The cache provenance block of a ``--json`` record."""
+    return cache_summary(
+        int(metrics.get("cache_hits", 0)), int(metrics.get("cache_misses", 0))
+    )
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -82,6 +121,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
                     "offline_seconds": result.offline_seconds,
                     "online_seconds": result.online_seconds,
                     "pass_timings": result.timings_by_pass,
+                    "metrics": result.metrics,
+                    "cache": _cache_counts(result.metrics),
                 },
                 indent=2,
             )
@@ -118,6 +159,7 @@ def cmd_baseline(args: argparse.Namespace) -> int:
                     "fusion_count": result.fusion_count,
                     "restarts": result.restarts,
                     "capped": result.capped,
+                    "cache": _cache_counts(result.metrics),
                 },
                 indent=2,
             )
@@ -146,7 +188,14 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     except UnknownExperimentError as exc:
         print(f"experiment: {exc}", file=sys.stderr)
         return 2
-    runner = make_runner(args.runner, max_workers=args.workers)
+    cache = _cache_from(args)
+    runner = make_runner(args.runner, max_workers=args.workers, cache=cache)
+    if cache is not None and cache.name == "memory" and args.runner == "process":
+        print(
+            "note: a memory cache cannot share entries across a process "
+            "pool; use --cache disk --cache-dir DIR for parallel sharing",
+            file=sys.stderr,
+        )
     if args.workers is not None and args.runner == "serial":
         print(
             "note: the serial runner ignores --workers; pass "
@@ -173,6 +222,13 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(json.dumps(result.to_json_obj(), indent=2))
     else:
         print(result.text)
+        if cache is not None:
+            stats = result.cache_stats()
+            print(
+                f"cache ({cache.name}): {stats['hits']} hits, "
+                f"{stats['misses']} misses, hit rate {stats['hit_rate']:.0%}",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -247,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also export the records to FILE (.csv -> CSV, otherwise JSON)",
     )
+    _add_cache_args(experiment_parser)
     experiment_parser.set_defaults(handler=cmd_experiment)
 
     percolate_parser = commands.add_parser(

@@ -115,8 +115,12 @@ class ExperimentRecord:
 
     ``fields`` is deterministic for a given (experiment, scale, seed) no
     matter which runner produced it; ``timings`` carries wall-clock seconds
-    (per-pass timers for compile jobs) and is excluded from
-    :meth:`canonical`, which is what determinism tests compare.
+    (per-pass timers for compile jobs) and ``metrics`` carries execution
+    provenance (``PassContext.metrics`` for compile jobs: logical layers
+    mapped, peak memory, cache hit/miss counts, ...).  Both are excluded
+    from :meth:`canonical`, which is what determinism tests compare —
+    cache hit counts legitimately differ between cold and warm runs while
+    the fields stay byte-identical.
     """
 
     experiment: str
@@ -125,6 +129,7 @@ class ExperimentRecord:
     job: str
     fields: dict[str, Any]
     timings: dict[str, float] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     def canonical(self) -> dict[str, Any]:
         """The deterministic portion, as a plain JSON-ready dict."""
@@ -137,7 +142,8 @@ class ExperimentRecord:
         }
 
     def flat(self) -> dict[str, Any]:
-        """One flat row (for CSV export): provenance, fields, ``t_`` timings."""
+        """One flat row (for CSV export): provenance, fields, ``t_`` timings,
+        ``m_`` metrics."""
         row: dict[str, Any] = {
             "experiment": self.experiment,
             "scale": self.scale,
@@ -146,6 +152,7 @@ class ExperimentRecord:
         }
         row.update(self.fields)
         row.update({f"t_{name}": seconds for name, seconds in self.timings.items()})
+        row.update({f"m_{name}": value for name, value in self.metrics.items()})
         return row
 
 
@@ -191,18 +198,34 @@ class ExperimentResult:
     text: str = ""
     runner: str = "serial"
 
+    def cache_stats(self) -> dict[str, Any]:
+        """Aggregate artifact-cache counts from the records' metrics.
+
+        Summing per-record counts (rather than reading a cache object)
+        keeps the accounting correct across process pools, where the
+        parent's cache instance never sees the workers' lookups.
+        """
+        from repro.pipeline.cache import cache_summary
+
+        return cache_summary(
+            sum(int(r.metrics.get("cache_hits", 0)) for r in self.records),
+            sum(int(r.metrics.get("cache_misses", 0)) for r in self.records),
+        )
+
     def to_json_obj(self) -> dict[str, Any]:
-        """Machine-readable form (fields *and* timings) for ``--json``."""
+        """Machine-readable form (fields, timings, metrics) for ``--json``."""
         return {
             "experiment": self.experiment,
             "scale": self.scale,
             "seed": self.seed,
             "runner": self.runner,
+            "cache": self.cache_stats(),
             "records": [
                 {
                     "job": record.job,
                     "fields": dict(record.fields),
                     "timings": dict(record.timings),
+                    "metrics": dict(record.metrics),
                 }
                 for record in self.records
             ],

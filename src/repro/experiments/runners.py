@@ -56,12 +56,23 @@ def _split_output(out: Any) -> tuple[dict[str, Any], dict[str, float]]:
 
 
 class Runner:
-    """Serial execution: the reference backend every other one must match."""
+    """Serial execution: the reference backend every other one must match.
+
+    ``cache`` (an :class:`~repro.pipeline.cache.ArtifactCache`) is shared
+    by every compile batch of every ``run_jobs`` call on this runner: each
+    compile group's pipeline is cache-wrapped before dispatch, so one
+    cache serves the whole experiment run regardless of backend.  Records
+    are byte-identical with the cache off, cold, or warm — hit/miss counts
+    land in the records' non-canonical ``metrics``.  (A ``MemoryCache``
+    shares within the serial/thread runners only; the process runner needs
+    a ``DiskCache`` to share entries across workers.)
+    """
 
     name = "serial"
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(self, max_workers: int | None = None, cache=None) -> None:
         self.max_workers = max_workers
+        self.cache = cache
 
     # -- the runner contract ------------------------------------------------
 
@@ -95,7 +106,7 @@ class Runner:
             # draining group by group.
             batches = []
             for (settings, baseline), members in compile_groups.items():
-                pipeline = Pipeline(settings)
+                pipeline = Pipeline(settings, cache=self.cache)
                 circuits = [
                     make_benchmark(job.family, job.num_qubits, seed=job.benchmark_seed)
                     for _index, job in members
@@ -219,6 +230,10 @@ def _compile_record(
         job=job.key,
         fields=fields,
         timings=timings,
+        # PassContext.metrics provenance: logical layers mapped, peak
+        # memory, cache hit/miss counts.  Rides the outcome across pickle
+        # boundaries, so process-pool runs account correctly too.
+        metrics=dict(getattr(outcome, "metrics", {}) or {}),
     )
 
 
@@ -230,7 +245,7 @@ RUNNERS: dict[str, type[Runner]] = {
 }
 
 
-def make_runner(name: str, max_workers: int | None = None) -> Runner:
+def make_runner(name: str, max_workers: int | None = None, cache=None) -> Runner:
     """Instantiate a runner by name, with an error that lists the options."""
     try:
         runner_cls = RUNNERS[name]
@@ -238,4 +253,4 @@ def make_runner(name: str, max_workers: int | None = None) -> Runner:
         raise ReproError(
             f"unknown runner {name!r}; available runners: {', '.join(RUNNERS)}"
         ) from None
-    return runner_cls(max_workers=max_workers)
+    return runner_cls(max_workers=max_workers, cache=cache)

@@ -14,9 +14,10 @@ sweep and cluster-fraction estimate (autotuning, Figs. 13(a)/16, the
 threshold tests), which sample thousands of lattices per curve — while
 :meth:`PercolatedLattice.components_dsu` keeps the original per-bond
 union-find as the reference implementation and micro-benchmark baseline.
-Both expose the same query interface.  (The renormalization pass proper has
-its own per-strip connectivity pre-check; vectorizing that the same way is
-a ROADMAP item.)
+Both expose the same query interface.  The renormalization pass's per-strip
+connectivity pre-check rides the same vectorized primitive
+(:func:`label_grid_components`, which handles rectangular strips), with its
+own scalar DSU kept as the oracle in :mod:`repro.online.renormalize`.
 """
 
 from __future__ import annotations
@@ -33,6 +34,76 @@ from repro.utils.rng import ensure_rng
 
 #: Label value marking dead sites in a component label grid.
 DEAD_LABEL = -1
+
+
+def label_grid_components(
+    alive: np.ndarray, horizontal: np.ndarray, vertical: np.ndarray
+) -> np.ndarray:
+    """Vectorized flood fill over a rectangular grid: label per site, -1 dead.
+
+    ``alive`` is ``(R, C)`` bool; ``horizontal[r, c]`` bonds ``(r, c)`` to
+    ``(r, c+1)`` and ``vertical[r, c]`` bonds ``(r, c)`` to ``(r+1, c)``
+    (masked to usable internally, so raw sampled bonds are fine).  Labels
+    are flat row-major site indices; each component ends up labelled by its
+    minimum index, so the labelling is deterministic.  Min-label
+    propagation across the bond grids is interleaved with pointer jumping
+    (``labels = labels[labels]``) so chains collapse in logarithmically
+    many rounds instead of one round per grid diameter.
+
+    This is the shared primitive behind :meth:`PercolatedLattice.
+    label_components` (square lattices) and the renormalization pass's
+    per-strip spanning pre-check (rectangular strips).
+    """
+    rows, cols = alive.shape
+    total = rows * cols
+    flat = np.arange(total, dtype=np.int64)
+    labels = np.where(alive.ravel(), flat, DEAD_LABEL)
+    if total == 0 or not alive.any():
+        return labels.reshape(rows, cols)
+    horizontal = horizontal & alive[:, :-1] & alive[:, 1:]
+    vertical = vertical & alive[:-1, :] & alive[1:, :]
+    sentinel = total  # larger than any real label, inert under minimum
+    grid = np.where(alive, flat.reshape(rows, cols), sentinel)
+    while True:
+        neighbor_min = grid.copy()
+        if cols > 1:
+            # Pull the smaller label across each usable bond, both ways.
+            np.minimum(
+                neighbor_min[:, :-1],
+                np.where(horizontal, grid[:, 1:], sentinel),
+                out=neighbor_min[:, :-1],
+            )
+            np.minimum(
+                neighbor_min[:, 1:],
+                np.where(horizontal, grid[:, :-1], sentinel),
+                out=neighbor_min[:, 1:],
+            )
+        if rows > 1:
+            np.minimum(
+                neighbor_min[:-1, :],
+                np.where(vertical, grid[1:, :], sentinel),
+                out=neighbor_min[:-1, :],
+            )
+            np.minimum(
+                neighbor_min[1:, :],
+                np.where(vertical, grid[:-1, :], sentinel),
+                out=neighbor_min[1:, :],
+            )
+        if np.array_equal(neighbor_min, grid):
+            break
+        grid = neighbor_min
+        # Pointer jumping: labels are site indices, so chasing them
+        # through the flat view compresses label chains exponentially.
+        flat_view = np.where(alive.ravel(), grid.ravel(), sentinel)
+        padded = np.append(flat_view, sentinel)  # sentinel maps to itself
+        while True:
+            jumped = padded[flat_view]
+            if np.array_equal(jumped, flat_view):
+                break
+            flat_view = jumped
+            padded[:total] = np.where(alive.ravel(), flat_view, sentinel)
+        grid = np.where(alive, flat_view.reshape(rows, cols), sentinel)
+    return np.where(alive, grid, DEAD_LABEL)
 
 
 class GridComponents:
@@ -168,60 +239,12 @@ class PercolatedLattice:
     def label_components(self) -> np.ndarray:
         """Vectorized flood fill: component label per site, -1 where dead.
 
-        Min-label propagation across the usable-bond grids, interleaved with
-        pointer jumping (``labels = labels[labels]``) so chains collapse in
-        logarithmically many rounds instead of one round per lattice
-        diameter.  Labels are flat site indices; each component ends up
-        labelled by its minimum index, so the labelling is deterministic.
+        Delegates to :func:`label_grid_components` (the rectangular-grid
+        primitive shared with the renormalization strip pre-check); labels
+        are flat site indices, each component labelled by its minimum
+        index, so the labelling is deterministic.
         """
-        n = self.size
-        flat = np.arange(n * n, dtype=np.int64)
-        labels = np.where(self.sites.ravel(), flat, DEAD_LABEL)
-        if n == 0 or not self.sites.any():
-            return labels.reshape(n, n)
-        horizontal, vertical = self.usable_bonds()
-        sentinel = n * n  # larger than any real label, inert under minimum
-        grid = np.where(self.sites, flat.reshape(n, n), sentinel)
-        while True:
-            neighbor_min = grid.copy()
-            if n > 1:
-                # Pull the smaller label across each usable bond, both ways.
-                np.minimum(
-                    neighbor_min[:, :-1],
-                    np.where(horizontal, grid[:, 1:], sentinel),
-                    out=neighbor_min[:, :-1],
-                )
-                np.minimum(
-                    neighbor_min[:, 1:],
-                    np.where(horizontal, grid[:, :-1], sentinel),
-                    out=neighbor_min[:, 1:],
-                )
-                np.minimum(
-                    neighbor_min[:-1, :],
-                    np.where(vertical, grid[1:, :], sentinel),
-                    out=neighbor_min[:-1, :],
-                )
-                np.minimum(
-                    neighbor_min[1:, :],
-                    np.where(vertical, grid[:-1, :], sentinel),
-                    out=neighbor_min[1:, :],
-                )
-            if np.array_equal(neighbor_min, grid):
-                break
-            grid = neighbor_min
-            # Pointer jumping: labels are site indices, so chasing them
-            # through the flat view compresses label chains exponentially.
-            flat_view = np.where(self.sites.ravel(), grid.ravel(), sentinel)
-            padded = np.append(flat_view, sentinel)  # sentinel maps to itself
-            while True:
-                jumped = padded[flat_view]
-                if np.array_equal(jumped, flat_view):
-                    break
-                flat_view = jumped
-                padded[: n * n] = np.where(self.sites.ravel(), flat_view, sentinel)
-            grid = np.where(self.sites, flat_view.reshape(n, n), sentinel)
-        labels = np.where(self.sites, grid, DEAD_LABEL)
-        return labels
+        return label_grid_components(self.sites, self.horizontal, self.vertical)
 
     def components(self) -> GridComponents:
         """Connected components of alive sites under usable bonds.

@@ -9,9 +9,13 @@ every other qubit is measured out in Z.
 
 Two mechanics from the paper:
 
-* **connectivity check before search** — a disjoint-set pass answers "is
-  there any path at all?" cheaply before the BFS runs (negative checks are
-  the common case near threshold);
+* **connectivity check before search** — a per-strip spanning check answers
+  "is there any path at all?" cheaply before the BFS runs (negative checks
+  are the common case near threshold).  The hot path is the same vectorized
+  numpy label propagation that powers ``PercolatedLattice.components()``
+  (:func:`strip_spans`); the original scalar union-find survives as the
+  oracle (:func:`strip_spans_dsu`) behind ``renormalize``'s ``precheck``
+  switch;
 * **tangling prevention** — distinct same-orientation paths must stay
   disjoint, and a path may touch a perpendicular path only by crossing it
   straight through (the crossing site becoming a renormalized node).  The
@@ -30,11 +34,111 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import RenormalizationError
-from repro.online.percolation import PercolatedLattice
+from repro.online.percolation import DEAD_LABEL, PercolatedLattice, label_grid_components
 from repro.utils.gridgeom import Coord2D
 
 #: Marker values for the orientation ownership grid.
 _FREE, _VERTICAL, _HORIZONTAL, _DEAD = 0, 1, 2, 3
+
+#: Pre-check implementations accepted by :func:`renormalize` (the vectorized
+#: label propagation is the hot path; the scalar union-find is the oracle).
+PRECHECKS = ("vector", "dsu")
+
+
+def strip_spans(
+    lattice: PercolatedLattice, vertical: bool, low: int, high: int
+) -> bool:
+    """Vectorized strip pre-check: do the strip's two far edges touch at all?
+
+    Runs on the relaxed graph that ignores crossing constraints, so a
+    negative answer is definitive while a positive one still needs BFS.
+    The strip subgrid is handed (transposed for row bands, so the spanning
+    axis is always rows) to the same numpy label propagation that powers
+    ``PercolatedLattice.components()``, then the edge-row label sets are
+    intersected — negative checks dominate near threshold, which is what
+    makes this the renormalization hot path worth vectorizing.
+    """
+    if vertical:
+        alive = lattice.sites[:, low:high]
+        across = lattice.horizontal[:, low : max(low, high - 1)]
+        along = lattice.vertical[:, low:high]
+    else:
+        alive = lattice.sites[low:high, :].T
+        across = lattice.vertical[low : max(low, high - 1), :].T
+        along = lattice.horizontal[low:high, :].T
+    if alive.size == 0:
+        return False
+    labels = label_grid_components(alive, across, along)
+    first = labels[0]
+    last = labels[-1]
+    first_roots = np.unique(first[first != DEAD_LABEL])
+    last_roots = np.unique(last[last != DEAD_LABEL])
+    if not first_roots.size or not last_roots.size:
+        return False
+    return bool(np.intersect1d(first_roots, last_roots, assume_unique=True).size)
+
+
+def strip_spans_dsu(
+    lattice: PercolatedLattice, vertical: bool, low: int, high: int
+) -> bool:
+    """Scalar oracle for :func:`strip_spans`: the original flat union-find.
+
+    Kept bit-for-bit equivalent in answer (the property suite cross-checks
+    the two over randomized lattices) and as the baseline the micro-bench
+    measures the vectorized path against.
+    """
+    n = lattice.size
+    width = high - low
+    if width <= 0:
+        return False
+    total = n * width
+    parent = list(range(total))
+
+    def find(node: int) -> int:
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    def flat(a: int, b: int) -> int:
+        # a runs along the spanning axis, b across the strip width.
+        return a * width + (b - low)
+
+    dead = ~lattice.sites
+    for a in range(n):
+        for b in range(low, high):
+            coord = (a, b) if vertical else (b, a)
+            if dead[coord]:
+                continue
+            here = flat(a, b)
+            if a > 0:
+                back = (a - 1, b) if vertical else (b, a - 1)
+                if not dead[back] and lattice.has_bond(coord, back):
+                    ra, rb = find(here), find(flat(a - 1, b))
+                    if ra != rb:
+                        parent[ra] = rb
+            if b > low:
+                side = (a, b - 1) if vertical else (b - 1, a)
+                if not dead[side] and lattice.has_bond(coord, side):
+                    ra, rb = find(here), find(flat(a, b - 1))
+                    if ra != rb:
+                        parent[ra] = rb
+    first_roots = {
+        find(flat(0, b))
+        for b in range(low, high)
+        if not dead[(0, b) if vertical else (b, 0)]
+    }
+    return any(
+        find(flat(n - 1, b)) in first_roots
+        for b in range(low, high)
+        if not dead[(n - 1, b) if vertical else (b, n - 1)]
+    )
+
+
+#: Name -> implementation, for the ``precheck`` switch.
+_PRECHECK_FNS = {"vector": strip_spans, "dsu": strip_spans_dsu}
 
 
 @dataclass
@@ -61,12 +165,17 @@ class RenormalizationResult:
 class _Carver:
     """Stateful path search over one percolated lattice."""
 
-    def __init__(self, lattice: PercolatedLattice) -> None:
+    def __init__(self, lattice: PercolatedLattice, precheck: str = "vector") -> None:
+        if precheck not in _PRECHECK_FNS:
+            raise RenormalizationError(
+                f"unknown precheck {precheck!r}; use one of: {', '.join(PRECHECKS)}"
+            )
         self.lattice = lattice
         self.size = lattice.size
         self.owner = np.full((self.size, self.size), _FREE, dtype=np.uint8)
         self.owner[~lattice.sites] = _DEAD
         self.visited_sites = 0
+        self._precheck = _PRECHECK_FNS[precheck]
 
     # -- generic helpers --------------------------------------------------
 
@@ -85,60 +194,18 @@ class _Carver:
     # -- connectivity pre-check (disjoint-set, Section 5.1) ----------------
 
     def _strip_connected(self, vertical: bool, low: int, high: int) -> bool:
-        """DSU check: do the strip's two far edges touch at all?
+        """Connectivity pre-check: do the strip's two far edges touch at all?
 
-        Runs on the relaxed graph that ignores crossing constraints, so a
-        negative answer is definitive while a positive one still needs BFS.
-        Uses a flat-index union-find (this check runs for every strip of
-        every RSL, so constant factors matter).
+        Dispatches to the configured implementation (:func:`strip_spans` by
+        default, :func:`strip_spans_dsu` as the oracle); both answer the
+        same relaxed-graph question, so a negative answer is definitive
+        while a positive one still needs BFS.  The visited-site cost proxy
+        charges the full strip area either way — Fig. 14's accounting
+        models the work the check *represents*, not the constant factors
+        of whichever implementation ran it.
         """
-        n = self.size
-        width = high - low
-        total = n * width
-        parent = list(range(total))
-        self.visited_sites += total
-
-        def find(node: int) -> int:
-            root = node
-            while parent[root] != root:
-                root = parent[root]
-            while parent[node] != root:
-                parent[node], node = root, parent[node]
-            return root
-
-        def flat(a: int, b: int) -> int:
-            # a runs along the spanning axis, b across the strip width.
-            return a * width + (b - low)
-
-        dead = self.owner == _DEAD
-        for a in range(n):
-            for b in range(low, high):
-                coord = (a, b) if vertical else (b, a)
-                if dead[coord]:
-                    continue
-                here = flat(a, b)
-                if a > 0:
-                    back = (a - 1, b) if vertical else (b, a - 1)
-                    if not dead[back] and self._bond(coord, back):
-                        ra, rb = find(here), find(flat(a - 1, b))
-                        if ra != rb:
-                            parent[ra] = rb
-                if b > low:
-                    side = (a, b - 1) if vertical else (b - 1, a)
-                    if not dead[side] and self._bond(coord, side):
-                        ra, rb = find(here), find(flat(a, b - 1))
-                        if ra != rb:
-                            parent[ra] = rb
-        first_roots = {
-            find(flat(0, b))
-            for b in range(low, high)
-            if not dead[(0, b) if vertical else (b, 0)]
-        }
-        return any(
-            find(flat(n - 1, b)) in first_roots
-            for b in range(low, high)
-            if not dead[(n - 1, b) if vertical else (b, n - 1)]
-        )
+        self.visited_sites += self.size * (high - low)
+        return self._precheck(self.lattice, vertical, low, high)
 
     def _alive(self, coord: Coord2D) -> bool:
         row, col = coord
@@ -277,6 +344,7 @@ def renormalize(
     lattice: PercolatedLattice,
     target_size: int,
     work_budget: int | None = None,
+    precheck: str = "vector",
 ) -> RenormalizationResult:
     """Reshape ``lattice`` into a ``target_size x target_size`` coarse lattice.
 
@@ -289,6 +357,13 @@ def renormalize(
     lifetime limit on real-time processing (Fig. 13(c)'s time-restricted
     non-modular baseline): when exceeded, the partial result so far is
     returned as a failure.
+
+    ``precheck`` selects the per-strip connectivity implementation:
+    ``"vector"`` (the numpy label-propagation hot path, the default) or
+    ``"dsu"`` (the scalar union-find oracle).  The two agree on every
+    lattice — the property suite asserts full-result identity — and the
+    visited-site accounting is implementation-independent, so swapping
+    them never perturbs results or the Fig. 14 cost proxy.
     """
     if target_size < 1:
         raise RenormalizationError(f"target size must be >= 1, got {target_size}")
@@ -296,7 +371,7 @@ def renormalize(
         raise RenormalizationError(
             f"target {target_size} exceeds lattice size {lattice.size}"
         )
-    carver = _Carver(lattice)
+    carver = _Carver(lattice, precheck=precheck)
     vertical_paths: list[list[Coord2D]] = []
     horizontal_paths: list[list[Coord2D]] = []
 

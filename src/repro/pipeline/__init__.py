@@ -6,6 +6,17 @@ online reshaping — expressed as first-class passes over a shared
 batch entry point (``compile_many``) every sweep driver uses.
 """
 
+from repro.pipeline.cache import (
+    ArtifactCache,
+    CachePass,
+    DiskCache,
+    MemoryCache,
+    cache_summary,
+    cached_passes,
+    circuit_fingerprint,
+    make_cache,
+    uncached_passes,
+)
 from repro.pipeline.context import PassContext, PassTiming
 from repro.pipeline.passes import (
     BaselinePass,
@@ -20,9 +31,13 @@ from repro.pipeline.result import CompilationResult
 from repro.pipeline.settings import PipelineSettings, rsl_size_for, virtual_size_for
 
 __all__ = [
+    "ArtifactCache",
     "BaselinePass",
+    "CachePass",
     "CompilationResult",
     "CompilerPass",
+    "DiskCache",
+    "MemoryCache",
     "LowerIRPass",
     "OfflineMapPass",
     "OnlineReshapePass",
@@ -32,7 +47,12 @@ __all__ = [
     "PipelineSettings",
     "TranslatePass",
     "baseline_passes",
+    "cache_summary",
+    "cached_passes",
+    "circuit_fingerprint",
     "default_passes",
+    "make_cache",
+    "uncached_passes",
     "rsl_size_for",
     "virtual_size_for",
 ]

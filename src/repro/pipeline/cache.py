@@ -1,0 +1,338 @@
+"""Content-addressed artifact cache for the compiler pipeline.
+
+Seed sweeps re-run the deterministic ``translate`` and ``offline-map``
+stages once per seed even though only the online stages consume randomness.
+This module removes that waste: a :class:`CachePass` wraps any cacheable
+pass and memoizes its artifacts under a **content address** — a stable hash
+of everything that feeds the stage:
+
+* the circuit fingerprint (gate list, qubit count, name);
+* the resolved hardware config and virtual size;
+* the :class:`~repro.pipeline.settings.PipelineSettings`-derived options;
+* for stochastic stages (``online-reshape``, ``baseline``), the derived
+  child-stream seed the stage would draw from — the exact
+  ``RandomStream.child(*labels, circuit.name)`` derivation, so two runs
+  that would sample identical streams share one entry while different
+  seeds never collide.
+
+Deterministic stages omit the seed part, which is what lets a sweep over
+the *seed axis* (same circuits, different online randomness) reuse the
+translate/offline-map prefix across every rollout.
+
+Two backends exist behind one interface: :class:`MemoryCache` (per-process
+dict; serves the serial and thread runners) and :class:`DiskCache` (a
+directory of pickle files with atomic writes; shareable across process
+pools and across runs).  Both store *pickled bytes* and deserialize on
+every hit, so a cached artifact is never aliased between compilations —
+bit-identical results cannot be perturbed by downstream mutation.
+
+Hit/miss counts are recorded twice: on the cache object (session totals,
+for reports) and in each compilation's ``PassContext.metrics`` (per-job
+provenance that flows into ``CompilationResult.metrics`` and from there
+into ``ExperimentRecord.metrics``, surviving process-pool boundaries).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.errors import CompilationError
+from repro.pipeline.context import PassContext
+from repro.pipeline.passes import CompilerPass
+
+#: Bump when the key derivation or payload schema changes: stale entries
+#: from older layouts must read as misses, never as wrong hits.
+CACHE_SCHEMA_VERSION = 1
+
+
+def circuit_fingerprint(circuit) -> str:
+    """Stable content hash of a circuit (gates, qubit count, name).
+
+    The name participates because downstream artifacts may embed it (and
+    RNG streams derive from it); two same-content circuits with different
+    names therefore address different entries — a lost sharing opportunity,
+    never a correctness hazard.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(f"{circuit.num_qubits}|{circuit.name}".encode())
+    for gate in circuit.gates:
+        digest.update(repr((gate.name, gate.qubits, gate.params)).encode())
+    return digest.hexdigest()
+
+
+class ArtifactCache:
+    """Backend-agnostic half of the cache: keys, counters, (de)serialization.
+
+    Subclasses implement :meth:`_read` / :meth:`_write` over raw bytes.
+    ``hits``/``misses`` are session-local totals (they do not persist and,
+    for process pools, do not aggregate across workers — per-job counts in
+    ``PassContext.metrics`` do).
+    """
+
+    name = "cache"
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+
+    # -- key derivation -----------------------------------------------------
+
+    def key_for(self, stage: CompilerPass, ctx: PassContext) -> str:
+        """The content address of ``stage``'s output for ``ctx``."""
+        parts = [
+            f"schema={CACHE_SCHEMA_VERSION}",
+            f"pass={stage.name}",
+            f"circuit={circuit_fingerprint(ctx.circuit)}",
+            f"config={ctx.config!r}",
+            f"virtual={ctx.virtual_size}",
+            f"options={sorted(ctx.options.items(), key=lambda kv: kv[0])!r}",
+        ]
+        if stage.rng_labels:
+            # The exact child-seed the stage's generator would start from:
+            # stochastic stages are deterministic *given* this value.
+            child = ctx.stream.child(*stage.rng_labels, ctx.circuit.name)
+            parts.append(f"stream={child.seed}")
+        digest = hashlib.blake2b("\n".join(parts).encode(), digest_size=20)
+        return digest.hexdigest()
+
+    # -- payloads -----------------------------------------------------------
+
+    def fetch(self, key: str) -> dict[str, Any] | None:
+        """The stored payload for ``key`` (a fresh deserialized copy), or None."""
+        blob = self._read(key)
+        with self._lock:
+            if blob is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        if blob is None:
+            return None
+        return pickle.loads(blob)
+
+    def store(self, key: str, payload: dict[str, Any]) -> None:
+        """Persist ``payload`` under ``key`` (last write wins; same content)."""
+        self._write(key, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def stats(self) -> dict[str, Any]:
+        """Session totals, for reports and the CLI."""
+        return {"backend": self.name, **cache_summary(self.hits, self.misses)}
+
+    # -- backend hooks ------------------------------------------------------
+
+    def _read(self, key: str) -> bytes | None:
+        raise NotImplementedError
+
+    def _write(self, key: str, blob: bytes) -> None:
+        raise NotImplementedError
+
+    # -- pickling (process pools) -------------------------------------------
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        del state["_lock"]  # locks do not pickle; workers get their own
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+class MemoryCache(ArtifactCache):
+    """In-process backend: a dict of pickled payloads.
+
+    Shared by reference within one process (serial and thread runners); a
+    process pool pickles it *by value*, so workers see a snapshot and new
+    entries do not flow back — use :class:`DiskCache` to share across
+    processes.
+    """
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._store: dict[str, bytes] = {}
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def _read(self, key: str) -> bytes | None:
+        with self._lock:
+            return self._store.get(key)
+
+    def _write(self, key: str, blob: bytes) -> None:
+        with self._lock:
+            self._store[key] = blob
+
+
+class DiskCache(ArtifactCache):
+    """On-disk backend: one pickle file per entry, fanned out by key prefix.
+
+    Writes are atomic (temp file + ``os.replace``), so concurrent writers —
+    threads or whole process-pool workers — can race on a key and the loser
+    simply overwrites identical content.  Pickles by *path*, which is what
+    makes one cache shareable across a process pool and across runs.
+    """
+
+    name = "disk"
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        super().__init__()
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+
+    def _read(self, key: str) -> bytes | None:
+        try:
+            return self._path(key).read_bytes()
+        except FileNotFoundError:
+            return None
+
+    def _write(self, key: str, blob: bytes) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            dir=path.parent, prefix=f".{key[:8]}-", delete=False
+        )
+        try:
+            handle.write(blob)
+            handle.close()
+            os.replace(handle.name, path)
+        except BaseException:
+            handle.close()
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+
+#: CLI ``--cache`` vocabulary -> constructor behavior (see :func:`make_cache`).
+CACHE_KINDS = ("off", "memory", "disk")
+
+
+def make_cache(
+    kind: str, directory: str | os.PathLike | None = None
+) -> ArtifactCache | None:
+    """Build a cache from the CLI vocabulary (``off`` -> ``None``)."""
+    if kind == "off":
+        return None
+    if kind == "memory":
+        return MemoryCache()
+    if kind == "disk":
+        if directory is None:
+            raise CompilationError("a disk cache needs a directory (--cache-dir)")
+        return DiskCache(directory)
+    raise CompilationError(
+        f"unknown cache kind {kind!r}; use one of: {', '.join(CACHE_KINDS)}"
+    )
+
+
+class CachePass(CompilerPass):
+    """A memoizing wrapper around one cacheable pass.
+
+    Presents the wrapped pass's ``name``/``requires``/``provides`` (so
+    pipeline contracts, timing entries, and downstream consumers are
+    oblivious), and on each run either replays the stored artifacts and
+    metrics or executes the inner pass and stores what it produced.  The
+    payload captures the pass's *metrics delta* alongside its artifacts so
+    a hit reproduces ``ctx.metrics`` exactly as a miss would.
+    """
+
+    def __init__(self, inner: CompilerPass, cache: ArtifactCache) -> None:
+        if isinstance(inner, CachePass):
+            raise CompilationError(f"pass {inner.name!r} is already cached")
+        if not inner.cacheable:
+            raise CompilationError(
+                f"pass {inner.name!r} is not cacheable (outputs are not a pure "
+                "function of the cache key)"
+            )
+        self.inner = inner
+        self.cache = cache
+        self.name = inner.name
+        self.requires = inner.requires
+        self.provides = inner.provides
+        self.rng_labels = inner.rng_labels
+
+    def run(self, ctx: PassContext) -> None:
+        key = self.cache.key_for(self.inner, ctx)
+        payload = self.cache.fetch(key)
+        if payload is not None:
+            for artifact_name, value in payload["artifacts"].items():
+                ctx.put(artifact_name, value)
+            ctx.metrics.update(payload["metrics"])
+            self._count(ctx, "cache_hits")
+            return
+        before = dict(ctx.metrics)
+        self.inner.run(ctx)
+        delta = {
+            name: value
+            for name, value in ctx.metrics.items()
+            if name not in before or before[name] != value
+        }
+        artifacts = {name: ctx.artifacts[name] for name in self.inner.provides}
+        self.cache.store(key, {"artifacts": artifacts, "metrics": delta})
+        self._count(ctx, "cache_misses")
+
+    @staticmethod
+    def _count(ctx: PassContext, counter: str) -> None:
+        ctx.metrics[counter] = ctx.metrics.get(counter, 0) + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CachePass {self.name!r} via {self.cache.name}>"
+
+
+def cache_summary(hits: int, misses: int) -> dict[str, Any]:
+    """The one definition of hit/miss accounting every reporter shares."""
+    lookups = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / lookups if lookups else 0.0,
+    }
+
+
+def uncached_passes(passes) -> tuple[CompilerPass, ...]:
+    """Strip every :class:`CachePass` wrapper, restoring the bare chain."""
+    return tuple(
+        stage.inner if isinstance(stage, CachePass) else stage for stage in passes
+    )
+
+
+def cached_passes(
+    passes, cache: ArtifactCache, only: tuple[str, ...] | None = None
+) -> tuple[CompilerPass, ...]:
+    """Wrap every cacheable pass of ``passes`` in a :class:`CachePass`.
+
+    ``only`` restricts wrapping to the named passes (e.g. just the
+    deterministic prefix, ``("translate", "offline-map")``); by default
+    every pass that declares itself cacheable is wrapped.  Already-wrapped
+    and non-cacheable passes are kept as-is.
+    """
+    wrapped = []
+    for stage in passes:
+        eligible = stage.cacheable and not isinstance(stage, CachePass)
+        if eligible and (only is None or stage.name in only):
+            wrapped.append(CachePass(stage, cache))
+        else:
+            wrapped.append(stage)
+    return tuple(wrapped)

@@ -20,11 +20,21 @@ class CompilerPass:
     ``requires`` (artifact keys that must exist before the pass runs) and
     ``provides`` (keys the pass is expected to create), and implement
     :meth:`run`.
+
+    Two further attributes describe a pass to the artifact cache
+    (:mod:`repro.pipeline.cache`): ``cacheable`` declares that the pass's
+    artifacts are a pure function of the cache key, and ``rng_labels``
+    names the child random streams the pass consumes (empty for
+    deterministic passes) — the cache folds the derived stream seed into
+    the key so stochastic stages memoize per (inputs, seed) while
+    deterministic ones share entries across the whole seed axis.
     """
 
     name: str = "pass"
     requires: tuple[str, ...] = ()
     provides: tuple[str, ...] = ()
+    cacheable: bool = False
+    rng_labels: tuple[str, ...] = ()
 
     def run(self, ctx: PassContext) -> None:
         raise NotImplementedError
@@ -38,6 +48,7 @@ class TranslatePass(CompilerPass):
 
     name = "translate"
     provides = ("pattern",)
+    cacheable = True
 
     def run(self, ctx: PassContext) -> None:
         from repro.mbqc.translate import translate_circuit
@@ -51,6 +62,7 @@ class OfflineMapPass(CompilerPass):
     name = "offline-map"
     requires = ("pattern",)
     provides = ("mapping",)
+    cacheable = True
 
     def run(self, ctx: PassContext) -> None:
         from repro.offline.mapper import OfflineMapper
@@ -97,6 +109,8 @@ class OnlineReshapePass(CompilerPass):
     name = "online-reshape"
     requires = ("mapping",)
     provides = ("reshape",)
+    cacheable = True
+    rng_labels = ("online",)
 
     def run(self, ctx: PassContext) -> None:
         from repro.online.timelike import OnlineReshaper
@@ -119,6 +133,8 @@ class BaselinePass(CompilerPass):
     name = "baseline"
     requires = ("pattern",)
     provides = ("baseline",)
+    cacheable = True
+    rng_labels = ("baseline",)
 
     def run(self, ctx: PassContext) -> None:
         from repro.baseline.oneq import plan_oneq

@@ -71,11 +71,20 @@ class Pipeline:
         settings: PipelineSettings | None = None,
         passes: Sequence[CompilerPass] | None = None,
         seed: int | None = None,
+        cache=None,
+        cache_only: tuple[str, ...] | None = None,
     ) -> None:
         self.settings = settings or PipelineSettings()
-        self.passes: tuple[CompilerPass, ...] = (
+        base: tuple[CompilerPass, ...] = (
             tuple(passes) if passes is not None else default_passes()
         )
+        self.cache = cache
+        self.cache_only = cache_only
+        if cache is not None:
+            from repro.pipeline.cache import cached_passes
+
+            base = cached_passes(base, cache, cache_only)
+        self.passes = base
         self.seed = seed
 
     # -- core execution -----------------------------------------------------
@@ -108,6 +117,23 @@ class Pipeline:
     def _seed_for(self, seed: int | None) -> int | None:
         return self.seed if seed is None else seed
 
+    def with_cache(
+        self, cache, only: tuple[str, ...] | None = None
+    ) -> "Pipeline":
+        """This pipeline with every cacheable pass wrapped in a ``CachePass``.
+
+        ``only`` limits wrapping to the named passes (e.g. just the
+        deterministic prefix ``("translate", "offline-map")``).  The
+        returned pipeline shares ``cache``, so every compilation it (or a
+        sibling) runs reads and feeds the same artifact store; a ``cache``
+        of ``None`` returns an equivalent uncached pipeline.  Existing
+        wrappers are stripped first, so rebinding an already-cached
+        pipeline to a different store (or to none) takes full effect.
+        """
+        from repro.pipeline.cache import uncached_passes
+
+        return Pipeline(self.settings, uncached_passes(self.passes), self.seed, cache, only)
+
     # -- one-shot entry points ---------------------------------------------
 
     def compile(self, circuit: Circuit, seed: int | None = None) -> CompilationResult:
@@ -126,13 +152,19 @@ class Pipeline:
             online_seconds=ctx.seconds_for(OnlineReshapePass.name),
             instructions=ctx.get("instructions", []),
             pass_timings=list(ctx.timings),
+            metrics=dict(ctx.metrics),
         )
 
     def compile_baseline(self, circuit: Circuit, seed: int | None = None) -> BaselineResult:
         """OneQ + repeat-until-success on the same hardware (Section 7.1)."""
         ctx = self.settings.context_for(circuit, self._seed_for(seed))
-        Pipeline(self.settings, baseline_passes()).run(ctx)
-        return ctx.require("baseline")
+        Pipeline(
+            self.settings, baseline_passes(), cache=self.cache,
+            cache_only=self.cache_only,
+        ).run(ctx)
+        result = ctx.require("baseline")
+        result.metrics = dict(ctx.metrics)
+        return result
 
     # -- batch execution ----------------------------------------------------
 
@@ -145,6 +177,7 @@ class Pipeline:
         backend: str | None = None,
         executor=None,
         as_futures: bool = False,
+        cache=None,
     ) -> list[CompilationResult] | list[BaselineResult] | list:
         """Compile a batch of circuits, optionally across a worker pool.
 
@@ -162,8 +195,26 @@ class Pipeline:
         the caller keep the pool saturated across batches.  Results come
         back in input order and are identical for any backend, pool, and
         ``max_workers`` — the per-job RNG derivation never sees the
-        scheduler.
+        scheduler.  ``cache`` (an :class:`~repro.pipeline.cache.
+        ArtifactCache`) makes every job of the batch share one artifact
+        store, so a sweep over the seed axis reuses the deterministic
+        translate/offline-map prefix instead of recompiling it per seed;
+        results are bit-identical with the cache on or off.
         """
+        if cache is not None and cache is not self.cache:
+            if self.cache is not None:
+                raise CompilationError(
+                    "compile_many cache conflicts with the pipeline's own cache"
+                )
+            return self.with_cache(cache).compile_many(
+                circuits,
+                seeds=seeds,
+                max_workers=max_workers,
+                baseline=baseline,
+                backend=backend,
+                executor=executor,
+                as_futures=as_futures,
+            )
         jobs = list(circuits)
         if seeds is None or isinstance(seeds, int):
             job_seeds: list[int | None] = [seeds] * len(jobs)  # type: ignore[list-item]

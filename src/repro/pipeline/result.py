@@ -29,6 +29,10 @@ class CompilationResult:
     online_seconds: float
     instructions: list[Instruction] = field(default_factory=list, repr=False)
     pass_timings: list[PassTiming] = field(default_factory=list, repr=False)
+    #: The compilation's ``PassContext.metrics`` (logical layers mapped,
+    #: peak memory, cache hit/miss counts, ...) — the provenance channel the
+    #: experiment layer surfaces into ``ExperimentRecord.metrics``.
+    metrics: dict = field(default_factory=dict, repr=False)
 
     @property
     def pl_ratio(self) -> float:

@@ -1,0 +1,234 @@
+"""Unit tests for the content-addressed artifact cache (tiny parameters).
+
+The bench-scale golden matrix (cache off / cold / warm x serial / thread /
+process) lives in benchmarks/test_cache_determinism.py; these tests pin the
+cache's own contract: key derivation, backend behavior, hit replay fidelity,
+pipeline wiring, and the process-pool pickling rules.
+"""
+
+import pickle
+
+import pytest
+
+from repro.circuits import make_benchmark
+from repro.errors import CompilationError
+from repro.pipeline import (
+    CachePass,
+    DiskCache,
+    LowerIRPass,
+    MemoryCache,
+    Pipeline,
+    PipelineSettings,
+    TranslatePass,
+    cached_passes,
+    circuit_fingerprint,
+    default_passes,
+    make_cache,
+)
+
+SETTINGS = PipelineSettings(fusion_success_rate=0.9, rsl_size=24, virtual_size=2, max_rsl=10**5)
+CIRCUIT = make_benchmark("qaoa", 4, seed=0)
+
+
+def _metrics(result):
+    return (result.rsl_count, result.fusion_count, result.logical_layers, result.pl_ratio)
+
+
+class TestFingerprint:
+    def test_stable_across_copies(self):
+        assert circuit_fingerprint(CIRCUIT) == circuit_fingerprint(CIRCUIT.copy())
+
+    def test_sensitive_to_content_and_name(self):
+        other_seed = make_benchmark("qaoa", 4, seed=1)
+        assert circuit_fingerprint(CIRCUIT) != circuit_fingerprint(other_seed)
+        renamed = CIRCUIT.copy()
+        renamed.name = "something-else"
+        assert circuit_fingerprint(CIRCUIT) != circuit_fingerprint(renamed)
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["memory", "disk"])
+    def test_round_trip_and_counters(self, backend, tmp_path):
+        cache = MemoryCache() if backend == "memory" else DiskCache(tmp_path)
+        assert cache.fetch("00ab") is None
+        cache.store("00ab", {"artifacts": {"x": [1, 2]}, "metrics": {"m": 3}})
+        payload = cache.fetch("00ab")
+        assert payload == {"artifacts": {"x": [1, 2]}, "metrics": {"m": 3}}
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+        assert len(cache) == 1
+        assert cache.stats()["backend"] == backend
+
+    def test_fetch_returns_fresh_copies(self, tmp_path):
+        # Isolation against downstream mutation: two hits must never alias.
+        for cache in (MemoryCache(), DiskCache(tmp_path)):
+            cache.store("k", {"artifacts": {"x": [1]}, "metrics": {}})
+            first = cache.fetch("k")["artifacts"]["x"]
+            first.append(99)
+            assert cache.fetch("k")["artifacts"]["x"] == [1]
+
+    def test_disk_cache_shares_across_instances(self, tmp_path):
+        DiskCache(tmp_path).store("k", {"artifacts": {}, "metrics": {"n": 1}})
+        assert DiskCache(tmp_path).fetch("k") == {"artifacts": {}, "metrics": {"n": 1}}
+
+    def test_backends_pickle_for_process_pools(self, tmp_path):
+        memory = MemoryCache()
+        memory.store("k", {"artifacts": {}, "metrics": {}})
+        clone = pickle.loads(pickle.dumps(memory))
+        assert clone.fetch("k") is not None  # snapshot rides along
+        disk = DiskCache(tmp_path)
+        disk.store("k", {"artifacts": {}, "metrics": {}})
+        assert pickle.loads(pickle.dumps(disk)).fetch("k") is not None
+
+    def test_make_cache_vocabulary(self, tmp_path):
+        assert make_cache("off") is None
+        assert isinstance(make_cache("memory"), MemoryCache)
+        assert isinstance(make_cache("disk", tmp_path), DiskCache)
+        with pytest.raises(CompilationError, match="--cache-dir"):
+            make_cache("disk")
+        with pytest.raises(CompilationError, match="unknown cache kind"):
+            make_cache("redis")
+
+
+class TestCachePassWiring:
+    def test_wrapper_presents_inner_contract(self):
+        cache = MemoryCache()
+        wrapped = CachePass(TranslatePass(), cache)
+        assert wrapped.name == "translate"
+        assert wrapped.provides == ("pattern",)
+        assert wrapped.requires == ()
+
+    def test_non_cacheable_pass_rejected(self):
+        with pytest.raises(CompilationError, match="not cacheable"):
+            CachePass(LowerIRPass(), MemoryCache())
+
+    def test_double_wrap_rejected(self):
+        cache = MemoryCache()
+        with pytest.raises(CompilationError, match="already cached"):
+            CachePass(CachePass(TranslatePass(), cache), cache)
+
+    def test_cached_passes_skips_ineligible(self):
+        cache = MemoryCache()
+        wrapped = cached_passes(default_passes(), cache)
+        kinds = [type(stage).__name__ for stage in wrapped]
+        assert kinds == ["CachePass", "CachePass", "LowerIRPass", "CachePass"]
+        rewrapped = cached_passes(wrapped, cache)
+        assert [type(s).__name__ for s in rewrapped] == kinds
+
+    def test_only_restricts_to_named_prefix(self):
+        wrapped = cached_passes(
+            default_passes(), MemoryCache(), only=("translate", "offline-map")
+        )
+        assert [type(stage).__name__ for stage in wrapped] == [
+            "CachePass", "CachePass", "LowerIRPass", "OnlineReshapePass",
+        ]
+
+
+class TestCachedCompilation:
+    def test_off_cold_warm_identical(self):
+        reference = Pipeline(SETTINGS).compile(CIRCUIT, seed=7)
+        cache = MemoryCache()
+        cached = Pipeline(SETTINGS, cache=cache)
+        cold = cached.compile(CIRCUIT, seed=7)
+        warm = cached.compile(CIRCUIT, seed=7)
+        assert _metrics(reference) == _metrics(cold) == _metrics(warm)
+        assert cold.metrics["cache_misses"] == 3
+        assert warm.metrics["cache_hits"] == 3
+
+    def test_hit_replays_pass_metrics(self):
+        cache = MemoryCache()
+        cached = Pipeline(SETTINGS, cache=cache)
+        cold = cached.compile(CIRCUIT, seed=7)
+        warm = cached.compile(CIRCUIT, seed=7)
+        drop = ("cache_hits", "cache_misses")
+        assert {k: v for k, v in cold.metrics.items() if k not in drop} == {
+            k: v for k, v in warm.metrics.items() if k not in drop
+        }
+        assert "logical_layers_mapped" in warm.metrics
+        assert "rsl_count" in warm.metrics
+
+    def test_deterministic_prefix_shared_across_seeds(self):
+        cache = MemoryCache()
+        cached = Pipeline(SETTINGS, cache=cache)
+        cached.compile(CIRCUIT, seed=0)
+        second = cached.compile(CIRCUIT, seed=1)
+        # translate + offline-map hit (seedless keys); online-reshape missed
+        # (its key folds in the derived stream seed).
+        assert second.metrics["cache_hits"] == 2
+        assert second.metrics["cache_misses"] == 1
+        assert _metrics(second) == _metrics(Pipeline(SETTINGS).compile(CIRCUIT, seed=1))
+
+    def test_distinct_settings_do_not_collide(self):
+        cache = MemoryCache()
+        loose = PipelineSettings(
+            fusion_success_rate=0.9, rsl_size=24, virtual_size=2,
+            max_rsl=10**5, occupancy_limit=0.5,
+        )
+        a = Pipeline(SETTINGS, cache=cache).compile(CIRCUIT, seed=0)
+        b = Pipeline(loose, cache=cache).compile(CIRCUIT, seed=0)
+        assert b.metrics["cache_misses"] == 3  # nothing reused across settings
+        assert _metrics(b) == _metrics(Pipeline(loose).compile(CIRCUIT, seed=0))
+        assert a.metrics["cache_misses"] == 3
+
+    def test_baseline_chain_cached(self):
+        reference = Pipeline(SETTINGS).compile_baseline(CIRCUIT, seed=3)
+        cache = MemoryCache()
+        cached = Pipeline(SETTINGS, cache=cache)
+        cold = cached.compile_baseline(CIRCUIT, seed=3)
+        warm = cached.compile_baseline(CIRCUIT, seed=3)
+        for result in (cold, warm):
+            assert (result.rsl_count, result.fusion_count, result.restarts) == (
+                reference.rsl_count, reference.fusion_count, reference.restarts,
+            )
+        assert cold.metrics["cache_misses"] == 2  # translate + baseline
+        assert warm.metrics["cache_hits"] == 2
+
+    def test_with_cache_and_none(self):
+        cache = MemoryCache()
+        cached = Pipeline(SETTINGS).with_cache(cache)
+        assert cached.cache is cache
+        assert _metrics(cached.compile(CIRCUIT, seed=2)) == _metrics(
+            Pipeline(SETTINGS).with_cache(None).compile(CIRCUIT, seed=2)
+        )
+
+    def test_with_cache_rebinds_and_unbinds(self):
+        """Rebinding an already-cached pipeline must swap the store for
+        real, and with_cache(None) must stop all lookups."""
+        first, second = MemoryCache(), MemoryCache()
+        cached = Pipeline(SETTINGS, cache=first)
+        rebound = cached.with_cache(second)
+        result = rebound.compile(CIRCUIT, seed=0)
+        assert result.metrics["cache_misses"] == 3
+        assert len(second) == 3 and second.lookups == 3
+        assert len(first) == 0 and first.lookups == 0
+        unbound = cached.with_cache(None)
+        assert _metrics(unbound.compile(CIRCUIT, seed=0)) == _metrics(result)
+        assert first.lookups == 0  # truly uncached, not silently reading first
+
+    def test_compile_many_cache_kwarg(self):
+        cache = MemoryCache()
+        pipeline = Pipeline(SETTINGS)
+        circuits = [CIRCUIT, CIRCUIT, CIRCUIT]
+        batch = pipeline.compile_many(circuits, seeds=[0, 1, 2], cache=cache)
+        assert [_metrics(r) for r in batch] == [
+            _metrics(pipeline.compile(CIRCUIT, seed=s)) for s in (0, 1, 2)
+        ]
+        assert cache.hits > 0  # the seed axis shared the prefix
+
+    def test_compile_many_conflicting_caches_rejected(self):
+        pipeline = Pipeline(SETTINGS, cache=MemoryCache())
+        with pytest.raises(CompilationError, match="conflicts"):
+            pipeline.compile_many([CIRCUIT], cache=MemoryCache())
+
+    def test_disk_cache_through_process_backend(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        pipeline = Pipeline(SETTINGS, cache=cache)
+        circuits = [CIRCUIT, CIRCUIT]
+        cold = pipeline.compile_many(circuits, seeds=[0, 1], backend="process", max_workers=2)
+        warm = pipeline.compile_many(circuits, seeds=[0, 1], backend="process", max_workers=2)
+        serial = Pipeline(SETTINGS).compile_many(circuits, seeds=[0, 1])
+        assert [_metrics(r) for r in serial] == [_metrics(r) for r in cold]
+        assert [_metrics(r) for r in serial] == [_metrics(r) for r in warm]
+        # Workers wrote through to the shared directory, so the warm pass
+        # hit every stage of every job.
+        assert all(r.metrics.get("cache_hits", 0) == 3 for r in warm)

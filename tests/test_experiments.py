@@ -81,23 +81,28 @@ class TestRecords:
             job="a/x=1",
             fields={"x": 1, "value": 2.5},
             timings={"seconds": 0.123},
+            metrics={"cache_hits": 2, "peak_memory_bytes": 64},
         )
 
-    def test_canonical_excludes_timings(self):
+    def test_canonical_excludes_timings_and_metrics(self):
         canonical = self.record().canonical()
         assert canonical["fields"] == {"x": 1, "value": 2.5}
         assert "timings" not in canonical
+        assert "metrics" not in canonical
 
-    def test_canonical_json_ignores_wall_clock(self):
+    def test_canonical_json_ignores_wall_clock_and_provenance(self):
         fast = self.record()
         slow = ExperimentRecord(
-            "toy", "bench", 0, "a/x=1", {"x": 1, "value": 2.5}, {"seconds": 99.0}
+            "toy", "bench", 0, "a/x=1", {"x": 1, "value": 2.5}, {"seconds": 99.0},
+            {"cache_hits": 0, "cache_misses": 2},
         )
         assert canonical_json([fast]) == canonical_json([slow])
 
-    def test_flat_row_prefixes_timings(self):
+    def test_flat_row_prefixes_timings_and_metrics(self):
         row = self.record().flat()
         assert row["t_seconds"] == 0.123
+        assert row["m_cache_hits"] == 2
+        assert row["m_peak_memory_bytes"] == 64
         assert row["job"] == "a/x=1"
 
 
@@ -169,6 +174,53 @@ class TestRunners:
         assert record.fields["rsl_count"] > 0
         assert record.fields["benchmark"] == "QAOA-4"
         assert "online-reshape" in record.timings
+
+    def test_compile_record_surfaces_pass_metrics(self):
+        """PassContext.metrics flow into compile-job records (non-canonical)."""
+        result = ToyExperiment().run("bench", seed=0)
+        record = result.records[-1]
+        assert record.metrics["logical_layers_mapped"] > 0
+        assert record.metrics["peak_memory_bytes"] > 0
+        assert record.metrics["rsl_count"] == record.fields["rsl_count"]
+        assert record.metrics["fusion_count"] == record.fields["fusion_count"]
+        for fn_record in result.records[:-1]:
+            assert fn_record.metrics == {}
+
+    @pytest.mark.parametrize("runner_name", ["serial", "thread"])
+    def test_cached_runner_matches_uncached_and_counts(self, runner_name):
+        from repro.pipeline import MemoryCache
+
+        experiment = ToyExperiment()
+        reference = experiment.run("bench", seed=3, runner=SerialRunner())
+        cache = MemoryCache()
+        runner = make_runner(runner_name, max_workers=2, cache=cache)
+        cold = experiment.run("bench", seed=3, runner=runner)
+        warm = experiment.run("bench", seed=3, runner=runner)
+        assert canonical_json(cold.records) == canonical_json(reference.records)
+        assert canonical_json(warm.records) == canonical_json(reference.records)
+        assert cold.records[-1].metrics["cache_misses"] == 3
+        assert warm.records[-1].metrics["cache_hits"] == 3
+        assert cold.cache_stats() == {"hits": 0, "misses": 3, "hit_rate": 0.0}
+        assert warm.cache_stats() == {"hits": 3, "misses": 0, "hit_rate": 1.0}
+
+    def test_process_runner_with_disk_cache(self, tmp_path):
+        from repro.pipeline import DiskCache
+
+        experiment = ToyExperiment()
+        reference = experiment.run("bench", seed=3, runner=SerialRunner())
+        cache = DiskCache(tmp_path)
+        cold = experiment.run(
+            "bench", seed=3, runner=ProcessRunner(max_workers=2, cache=cache)
+        )
+        warm = experiment.run(
+            "bench", seed=3, runner=ProcessRunner(max_workers=2, cache=cache)
+        )
+        assert canonical_json(cold.records) == canonical_json(reference.records)
+        assert canonical_json(warm.records) == canonical_json(reference.records)
+        # Workers wrote through the shared directory, so the second run's
+        # per-record provenance shows a full hit.
+        assert warm.records[-1].metrics["cache_hits"] == 3
+        assert warm.cache_stats()["hit_rate"] == 1.0
 
     def test_runner_by_name_and_unknown(self):
         assert make_runner("thread", 2).max_workers == 2

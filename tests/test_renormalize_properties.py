@@ -1,9 +1,11 @@
-"""Property tests of the renormalization carving invariants."""
+"""Property tests of the renormalization carving invariants, and the
+vectorized strip pre-check against its scalar DSU oracle."""
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.online import renormalize, sample_lattice
+from repro.online.renormalize import strip_spans, strip_spans_dsu
 
 
 @st.composite
@@ -75,6 +77,79 @@ def test_paths_confined_to_their_strips(case):
     for index, path in enumerate(result.horizontal_paths):
         low, high = strip_range(index)
         assert all(low <= row < high for row, _col in path)
+
+
+@st.composite
+def strip_cases(draw):
+    """Randomized lattices with site loss, plus a strip partition to check.
+
+    Loss rate 0 exercises full lattices; rates near 1 produce effectively
+    empty strips; tiny sizes produce width-1 and single-row degenerates.
+    """
+    size = draw(st.integers(1, 26))
+    bond_probability = draw(st.floats(0.0, 1.0))
+    loss = draw(st.sampled_from([0.0, 0.05, 0.3, 0.7, 0.97]))
+    count = draw(st.integers(1, size))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return size, bond_probability, loss, count, seed
+
+
+def _lattice_with_loss(size, bond_probability, loss, seed):
+    rng = np.random.default_rng(seed)
+    alive = rng.random((size, size)) >= loss
+    return sample_lattice(size, bond_probability, rng, site_alive=alive)
+
+
+@given(strip_cases())
+@settings(max_examples=60, deadline=None)
+def test_vectorized_precheck_matches_dsu_oracle(case):
+    """The numpy label-propagation pre-check and the scalar union-find must
+    answer identically for every strip/band of every lattice."""
+    size, bond_probability, loss, count, seed = case
+    lattice = _lattice_with_loss(size, bond_probability, loss, seed)
+    for vertical in (True, False):
+        for index in range(count):
+            low = (index * size) // count
+            high = ((index + 1) * size) // count
+            assert strip_spans(lattice, vertical, low, high) == strip_spans_dsu(
+                lattice, vertical, low, high
+            ), (size, vertical, low, high)
+
+
+def test_precheck_degenerate_strips():
+    """Hand-picked degenerates: empty width, fully dead, fully alive."""
+    full = sample_lattice(6, 1.0, rng=np.random.default_rng(0))
+    for vertical in (True, False):
+        assert strip_spans(full, vertical, 0, 6) is True
+        assert strip_spans(full, vertical, 2, 3) is True  # width-1 strip
+        # Empty range: both implementations report "no path".
+        assert strip_spans(full, vertical, 3, 3) is False
+        assert strip_spans_dsu(full, vertical, 3, 3) is False
+    dead = sample_lattice(
+        5, 1.0, rng=np.random.default_rng(0), site_alive=np.zeros((5, 5), dtype=bool)
+    )
+    for vertical in (True, False):
+        assert strip_spans(dead, vertical, 0, 5) is False
+        assert strip_spans_dsu(dead, vertical, 0, 5) is False
+    single = sample_lattice(1, 0.5, rng=np.random.default_rng(1))
+    assert strip_spans(single, True, 0, 1) is strip_spans_dsu(single, True, 0, 1) is True
+
+
+@given(carving_cases())
+@settings(max_examples=25, deadline=None)
+def test_full_renormalize_identical_for_either_precheck(case):
+    """Swapping pre-check implementations must not perturb *anything*:
+    success, paths, node grid, and the Fig. 14 visited-sites cost proxy."""
+    size, target, probability, seed = case
+    lattice = sample_lattice(size, probability, rng=np.random.default_rng(seed))
+    fast = renormalize(lattice.copy(), target, precheck="vector")
+    slow = renormalize(lattice.copy(), target, precheck="dsu")
+    assert fast.success == slow.success
+    assert fast.lattice_size == slow.lattice_size
+    assert fast.visited_sites == slow.visited_sites
+    assert fast.node_sites == slow.node_sites
+    assert fast.vertical_paths == slow.vertical_paths
+    assert fast.horizontal_paths == slow.horizontal_paths
 
 
 @given(carving_cases())

@@ -176,44 +176,25 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["compile", "--benchmark", "nope", "--qubits", "4"])
 
-
-class TestCliExperiment:
-    def test_list_names_registry(self, capsys):
-        code = main(["experiment", "--list"])
-        output = capsys.readouterr().out
-        assert code == 0
-        for name in ("table2", "fig12", "fig16", "loss"):
-            assert name in output
-
-    def test_unknown_name_lists_registry(self, capsys):
-        code = main(["experiment", "--name", "fig99"])
-        err = capsys.readouterr().err
-        assert code == 2
-        assert "fig99" in err and "fig16" in err
-
-    def test_name_required_without_list(self, capsys):
-        code = main(["experiment"])
-        assert code == 2
-        assert "--list" in capsys.readouterr().err
-
-    def test_json_records(self, capsys):
+    def test_compile_json_reports_cache(self, capsys):
         import json
 
         code = main(
-            ["experiment", "--name", "fig15", "--json", "--runner", "thread",
-             "--workers", "2"]
+            [
+                "compile",
+                "--benchmark", "qaoa",
+                "--qubits", "4",
+                "--rate", "0.9",
+                "--rsl-size", "24",
+                "--max-rsl", "100000",
+                "--cache", "memory",
+                "--json",
+            ]
         )
         record = json.loads(capsys.readouterr().out)
         assert code == 0
-        assert record["experiment"] == "fig15"
-        assert record["runner"] == "thread"
-        assert record["records"][0]["fields"]["logical_layers"] > 0
+        assert record["cache"]["misses"] == 3  # cold cache: every stage missed
+        assert record["metrics"]["cache_misses"] == 3
 
-    def test_out_csv_export(self, capsys, tmp_path):
-        out = tmp_path / "fig15.csv"
-        code = main(["experiment", "--name", "fig15", "--out", str(out)])
-        assert code == 0
-        header = out.read_text().splitlines()[0]
-        assert header.startswith("experiment,scale,seed,job")
-        assert "logical_layers" in header
-        assert "Fig. 15" in capsys.readouterr().out  # rendered table still prints
+
+# The experiment subcommand's tests live in tests/test_cli_experiment.py.
