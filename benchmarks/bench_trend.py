@@ -1,0 +1,122 @@
+"""Print a perf-trend diff: working-tree BENCH_*.json vs the committed ones.
+
+The bench suite rewrites ``benchmarks/BENCH_*.json`` in place, so after a
+CI bench run the working tree holds fresh numbers while ``HEAD`` holds the
+snapshots the PR was based on.  This script walks every numeric leaf of
+each snapshot pair and prints old -> new with a percentage delta, so a
+PR's perf trajectory is visible straight from the job log (the JSON files
+themselves are uploaded as workflow artifacts).
+
+Informative, never gating: shared runners make timing numbers noisy, so
+the script always exits 0 unless ``--strict`` is given (then a missing or
+unparsable snapshot fails).  Run it from anywhere inside the repo::
+
+    python benchmarks/bench_trend.py [--against REF] [--strict]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent.resolve()
+REPO_ROOT = BENCH_DIR.parent
+
+
+def numeric_leaves(payload, prefix: str = "") -> dict[str, float]:
+    """Flatten every int/float leaf into ``dotted.path -> value``."""
+    leaves: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            leaves.update(numeric_leaves(value, f"{prefix}{key}." if prefix else f"{key}."))
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            leaves.update(numeric_leaves(value, f"{prefix}{index}."))
+    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        leaves[prefix.rstrip(".")] = float(payload)
+    return leaves
+
+
+def committed_snapshot(ref: str, path: Path) -> dict | None:
+    """The snapshot as committed at ``ref``; None if absent or unparsable
+    there (a corrupt baseline must degrade to "no baseline", never crash
+    the non-gating trend report)."""
+    relative = path.relative_to(REPO_ROOT).as_posix()
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{relative}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as exc:
+        print(f"== {path.name} == baseline at {ref} unparsable: {exc}", file=sys.stderr)
+        return None
+
+
+def render_trend(name: str, old: dict[str, float], new: dict[str, float]) -> list[str]:
+    """One table of old -> new deltas, keys union-ordered, new-only last."""
+    lines = [f"== {name} =="]
+    width = max((len(key) for key in {**old, **new}), default=0)
+    for key in sorted({**old, **new}):
+        before, after = old.get(key), new.get(key)
+        if before is None:
+            lines.append(f"  {key:<{width}}  (new)            {after:.6g}")
+        elif after is None:
+            lines.append(f"  {key:<{width}}  {before:.6g} -> (gone)")
+        elif before == after:
+            lines.append(f"  {key:<{width}}  {before:.6g} (unchanged)")
+        else:
+            delta = (after - before) / abs(before) * 100 if before else float("inf")
+            lines.append(
+                f"  {key:<{width}}  {before:.6g} -> {after:.6g}  ({delta:+.1f}%)"
+            )
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--against", default="HEAD", metavar="REF",
+        help="git ref holding the baseline snapshots (default HEAD)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when a snapshot is missing or unreadable",
+    )
+    args = parser.parse_args(argv)
+
+    failures = 0
+    snapshots = sorted(BENCH_DIR.glob("BENCH_*.json"))
+    if not snapshots:
+        print("no BENCH_*.json snapshots found", file=sys.stderr)
+        failures += 1
+    for path in snapshots:
+        try:
+            current = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"== {path.name} == unreadable: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        baseline = committed_snapshot(args.against, path)
+        if baseline is None:
+            print(f"== {path.name} == not in {args.against} (new snapshot)")
+            continue
+        print(
+            "\n".join(
+                render_trend(
+                    path.name, numeric_leaves(baseline), numeric_leaves(current)
+                )
+            )
+        )
+    return 1 if args.strict and failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

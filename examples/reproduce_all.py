@@ -1,8 +1,9 @@
 """Regenerate every table and figure of the paper's evaluation.
 
 Run:  python examples/reproduce_all.py [bench|paper] [output.md]
-                                       [--runner serial|thread|process]
-                                       [--workers N] [--cache-dir DIR]
+                                       [--runner serial|thread|process|sharded]
+                                       [--workers N] [--shards N]
+                                       [--cache-dir DIR]
 
 ``bench`` (default) uses the scaled-down parameters (a few minutes);
 ``paper`` uses the paper's own parameters (hours, as the artifact appendix
@@ -15,12 +16,16 @@ pick the execution backend (records are identical for every backend).
 ``--cache-dir`` points every experiment of the run at one shared disk
 artifact cache (see ARCHITECTURE.md's "Artifact cache") — a re-run after a
 crash or parameter-study iteration then skips every compilation stage it
-has already seen, with records byte-identical either way.
+has already seen, with records byte-identical either way.  ``--runner
+sharded --shards N`` partitions each experiment across N subprocesses that
+exchange artifacts through per-shard views of that same cache directory
+(requires ``--cache-dir``, or runs uncached).
 """
 
 import argparse
 import time
 
+from repro.errors import ReproError
 from repro.experiments import EXPERIMENT_REGISTRY, RUNNERS, make_runner
 from repro.pipeline import DiskCache
 from repro.pipeline.cache import cache_summary
@@ -33,12 +38,20 @@ def main() -> None:
     parser.add_argument("--runner", default="serial", choices=list(RUNNERS))
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument(
+        "--shards", type=int, default=None, help="shard count for --runner sharded"
+    )
+    parser.add_argument(
         "--cache-dir", default=None, help="shared disk artifact cache directory"
     )
     args = parser.parse_args()
 
     cache = DiskCache(args.cache_dir) if args.cache_dir else None
-    runner = make_runner(args.runner, max_workers=args.workers, cache=cache)
+    try:
+        runner = make_runner(
+            args.runner, max_workers=args.workers, cache=cache, shards=args.shards
+        )
+    except ReproError as exc:  # bad runner/shard/cache combination
+        raise SystemExit(f"reproduce_all: {exc}") from exc
     sections: list[str] = []
     cache_hits = cache_misses = 0
     for name, experiment in EXPERIMENT_REGISTRY.items():

@@ -54,7 +54,7 @@ class OneQPlan:
 
     @property
     def total_fusions(self) -> int:
-        return sum(l.intra_fusions + l.inter_fusions for l in self.layers)
+        return sum(layer.intra_fusions + layer.inter_fusions for layer in self.layers)
 
 
 def plan_width_for(config: HardwareConfig) -> int:

@@ -12,6 +12,8 @@ Usage (also via ``python -m repro.cli``)::
     python -m repro.cli experiment --name fig16 --out fig16.csv
     python -m repro.cli experiment --name table2 --cache memory --json
     python -m repro.cli experiment --name table2 --cache disk --cache-dir .cache
+    python -m repro.cli experiment --name table2 --runner sharded --shards 4 \\
+        --cache-dir .cache --stream --out table2.jsonl
     python -m repro.cli percolate --size 24 --rate 0.75 --node 8
 
 The ``experiment`` subcommand is a thin shell over the experiment registry
@@ -28,13 +30,15 @@ import sys
 from repro.circuits.benchmarks import BENCHMARKS, make_benchmark
 from repro.experiments.api import (
     EXPERIMENT_REGISTRY,
+    ExperimentResult,
     UnknownExperimentError,
     experiment_names,
     get_experiment,
 )
-from repro.errors import CompilationError
+from repro.errors import CompilationError, ReproError
 from repro.experiments.common import SCALES
 from repro.experiments.runners import RUNNERS, make_runner
+from repro.experiments.streams import CsvStreamWriter, make_stream_writer
 from repro.pipeline import Pipeline, PipelineSettings, make_cache
 from repro.pipeline.cache import CACHE_KINDS, cache_summary
 
@@ -71,6 +75,13 @@ def _add_cache_args(parser: argparse.ArgumentParser) -> None:
         help="directory for --cache disk (implies --cache disk when given "
         "alone); disk is the backend that shares across process pools",
     )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        metavar="BYTES",
+        help="LRU eviction budget for the disk cache: least-recently-used "
+        "entries are dropped once the store exceeds this many bytes",
+    )
 
 
 def _cache_from(args: argparse.Namespace):
@@ -79,7 +90,7 @@ def _cache_from(args: argparse.Namespace):
     if kind == "off" and args.cache_dir:
         kind = "disk"
     try:
-        return make_cache(kind, args.cache_dir)
+        return make_cache(kind, args.cache_dir, max_bytes=args.cache_max_bytes)
     except CompilationError as exc:
         raise SystemExit(f"cache: {exc}") from exc
 
@@ -173,6 +184,42 @@ def cmd_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_streamed(experiment, args: argparse.Namespace, runner) -> ExperimentResult:
+    """Drain ``iter_records``, flushing each record to ``--out`` as it lands.
+
+    Records appear incrementally (``tail -f`` the output file mid-sweep; a
+    crash keeps everything completed so far) and the folded result is
+    byte-identical to the blocking path — ``from_stream`` reduces the very
+    same canonical-order records ``run`` would have produced.
+    """
+    writer = make_stream_writer(args.out) if args.out else None
+    records = []
+    try:
+        stream = experiment.iter_records(args.scale, seed=args.seed, runner=runner)
+        for record in stream:
+            records.append(record)
+            if writer is not None:
+                writer.write(record)
+            if not args.json:
+                print(f"streamed {len(records)}: {record.job}", file=sys.stderr)
+    finally:
+        if writer is not None:
+            writer.close()
+    if writer is not None:
+        if isinstance(writer, CsvStreamWriter) and writer.dropped_keys:
+            print(
+                "note: the CSV stream fixed its header on the first record "
+                f"and dropped later columns {sorted(writer.dropped_keys)}; "
+                "use a .json/.jsonl --out for mixed-schema experiments",
+                file=sys.stderr,
+            )
+        print(
+            f"wrote {args.out} ({writer.records_written} records, streamed)",
+            file=sys.stderr,
+        )
+    return ExperimentResult.from_stream(experiment, records, runner=runner.name)
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     if args.list:
         names = experiment_names()  # ensures the registry is populated
@@ -189,7 +236,15 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(f"experiment: {exc}", file=sys.stderr)
         return 2
     cache = _cache_from(args)
-    runner = make_runner(args.runner, max_workers=args.workers, cache=cache)
+    try:
+        runner = make_runner(
+            args.runner, max_workers=args.workers, cache=cache, shards=args.shards
+        )
+    except ReproError as exc:
+        # A bad runner/cache/shard combination (memory cache on the sharded
+        # runner, --shards with a non-sharded runner, ...) is a usage error.
+        print(f"experiment: {exc}", file=sys.stderr)
+        return 2
     if cache is not None and cache.name == "memory" and args.runner == "process":
         print(
             "note: a memory cache cannot share entries across a process "
@@ -209,8 +264,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             "when the seconds columns are the point (Figs. 14-15)",
             file=sys.stderr,
         )
-    result = experiment.run(args.scale, seed=args.seed, runner=runner)
-    if args.out:
+    if args.stream:
+        result = _run_streamed(experiment, args, runner)
+    else:
+        result = experiment.run(args.scale, seed=args.seed, runner=runner)
+    if args.out and not args.stream:
         if args.out.lower().endswith(".csv"):
             artifact = result.to_csv()
         else:
@@ -292,6 +350,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="worker count for pool runners (records are identical for any N)",
+    )
+    experiment_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard count for --runner sharded: jobs are partitioned by a "
+        "stable hash of the job key and each shard runs in its own "
+        "subprocess (records are identical for any N)",
+    )
+    experiment_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="yield records as they complete instead of waiting for the "
+        "whole sweep; with --out, the writer flushes per record "
+        "(.csv -> incremental CSV, otherwise JSON Lines)",
     )
     experiment_parser.add_argument(
         "--json",

@@ -40,24 +40,37 @@ from repro.experiments.runners import (
     ProcessRunner,
     Runner,
     SerialRunner,
+    ShardedRunner,
+    ShardTask,
     ThreadRunner,
     make_runner,
+    run_shard,
+    shard_for,
+)
+from repro.experiments.streams import (
+    CsvStreamWriter,
+    JsonlStreamWriter,
+    make_stream_writer,
 )
 
 __all__ = [
     "BenchmarkCase",
     "CompileJob",
+    "CsvStreamWriter",
     "EXPERIMENT_REGISTRY",
     "Experiment",
     "ExperimentRecord",
     "ExperimentResult",
     "FnJob",
     "Job",
+    "JsonlStreamWriter",
     "ProcessRunner",
     "RUNNERS",
     "Runner",
     "SCALES",
     "SerialRunner",
+    "ShardTask",
+    "ShardedRunner",
     "ThreadRunner",
     "UnknownExperimentError",
     "canonical_json",
@@ -71,8 +84,11 @@ __all__ = [
     "group_cells",
     "loss",
     "make_runner",
+    "make_stream_writer",
     "register",
     "run_experiment",
+    "run_shard",
+    "shard_for",
     "table2",
     "table3",
 ]

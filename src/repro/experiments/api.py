@@ -6,7 +6,11 @@ declaratively: it *builds jobs* (units of work) and *reduces records*
 to a pluggable runner (:mod:`repro.experiments.runners`): compile jobs are
 batched through ``Pipeline.compile_many`` and function jobs through the
 runner's shared pool, so the same job list can run serially, across a
-thread pool, or across a process pool with bit-identical records.
+thread pool, a process pool, or a sharded subprocess fleet with
+bit-identical records.  Execution also *streams*:
+:meth:`Experiment.iter_records` yields records in canonical order as jobs
+finish, and :meth:`ExperimentResult.from_stream` folds a drained stream
+into the same result a blocking run produces.
 
 The contract that makes backends interchangeable is *self-seeding*: every
 job derives its own random streams from ``(experiment seed, job labels)``
@@ -40,7 +44,7 @@ import io
 import json
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import ReproError
 from repro.experiments.common import SCALES, check_scale
@@ -198,6 +202,26 @@ class ExperimentResult:
     text: str = ""
     runner: str = "serial"
 
+    @classmethod
+    def from_stream(
+        cls,
+        experiment: "Experiment",
+        records: Iterable[ExperimentRecord],
+        runner: "Runner | str" = "serial",
+    ) -> "ExperimentResult":
+        """Fold an already-consumed record stream into a full result.
+
+        The streaming counterpart of :meth:`Experiment.run`: drain
+        :meth:`Experiment.iter_records` (writing records wherever they need
+        to go as they arrive), then hand the same iterator — or the list
+        you accumulated — here to get the rendered text and exports.
+        Because ``iter_records`` restores canonical ordering, the result is
+        byte-identical to a blocking ``run`` of the same experiment.
+        """
+        result = experiment.reduce(list(records))
+        result.runner = runner if isinstance(runner, str) else runner.name
+        return result
+
     def cache_stats(self) -> dict[str, Any]:
         """Aggregate artifact-cache counts from the records' metrics.
 
@@ -286,6 +310,14 @@ class Experiment(ABC):
             text=self.render(records),
         )
 
+    def _check_scale(self, scale: str) -> None:
+        check_scale(scale)
+        if scale not in self.scales:
+            raise ReproError(
+                f"experiment {self.name!r} supports scales {self.scales}, "
+                f"got {scale!r}"
+            )
+
     def run(
         self,
         scale: str = "bench",
@@ -293,18 +325,35 @@ class Experiment(ABC):
         runner: "Runner | str | None" = None,
     ) -> ExperimentResult:
         """Build jobs, execute them on ``runner``, reduce the records."""
-        check_scale(scale)
-        if scale not in self.scales:
-            raise ReproError(
-                f"experiment {self.name!r} supports scales {self.scales}, "
-                f"got {scale!r}"
-            )
+        self._check_scale(scale)
         runner = _resolve_runner(runner)
         jobs = self.build_jobs(scale, seed)
         records = runner.run_jobs(jobs, experiment=self.name, scale=scale, seed=seed)
         result = self.reduce(records)
         result.runner = runner.name
         return result
+
+    def iter_records(
+        self,
+        scale: str = "bench",
+        seed: int = 0,
+        runner: "Runner | str | None" = None,
+    ) -> Iterator[ExperimentRecord]:
+        """Stream records in canonical job order as execution completes.
+
+        The generator half of :meth:`run`: a long sweep yields each record
+        the moment its job (or, on the sharded runner, its shard) finishes
+        instead of materializing the whole list first, so a service or an
+        incremental writer can observe partial results mid-sweep.  Record
+        content and order are exactly ``run``'s — finish the stream with
+        :meth:`ExperimentResult.from_stream` to get the identical result
+        object.  Scale/runner validation happens here, eagerly, not at
+        first ``next()`` — a usage error must surface at the call site.
+        """
+        self._check_scale(scale)
+        runner = _resolve_runner(runner)
+        jobs = self.build_jobs(scale, seed)
+        return runner.iter_jobs(jobs, experiment=self.name, scale=scale, seed=seed)
 
 
 def _resolve_runner(runner: "Runner | str | None"):

@@ -1,17 +1,33 @@
-"""Pluggable experiment runners: serial, thread-pool, and process-pool.
+"""Pluggable experiment runners: serial, thread-pool, process-pool, sharded.
 
-A runner executes a job list and returns input-ordered
-:class:`~repro.experiments.api.ExperimentRecord` lists.  All three backends
-produce byte-identical canonical records for any worker count because jobs
-are self-seeded (see :mod:`repro.experiments.api`); the backend choice only
-moves wall-clock time around.
+A runner executes a job list and produces input-ordered
+:class:`~repro.experiments.api.ExperimentRecord` lists.  All backends
+produce byte-identical canonical records for any worker or shard count
+because jobs are self-seeded (see :mod:`repro.experiments.api`); the
+backend choice only moves wall-clock time around.
 
-Compile jobs are grouped by ``(settings, baseline)`` and dispatched as
-``Pipeline.compile_many`` batches — the batch API is the single execution
-path for every compilation in the experiments layer.  A pool runner opens
-*one* executor per ``run_jobs`` call, submits every batch and function job
-up front, and only then gathers, so pool startup is paid once and the pool
-stays saturated across groups.
+Execution is **streaming end-to-end**: the primitive is
+:meth:`Runner.iter_jobs`, a generator that yields each record as its job
+finishes, with canonical (input) ordering restored by a reorder buffer —
+out-of-order completions wait in the buffer until every earlier record has
+been yielded.  ``run_jobs`` is simply ``list(iter_jobs(...))``, so the
+serial, thread, process, and sharded backends all stream for free.
+
+Compile jobs are grouped by ``(settings, baseline)`` and dispatched through
+``Pipeline.compile_many`` — the batch API is the single execution path for
+every compilation in the experiments layer.  A pool runner opens *one*
+executor per ``iter_jobs`` call, submits every batch and function job up
+front, and only then starts yielding, so pool startup is paid once and the
+pool stays saturated across groups.
+
+:class:`ShardedRunner` partitions the job list into N shards keyed by a
+stable hash of each job's key (:func:`shard_for`), executes every shard as
+a self-contained :class:`ShardTask` in a subprocess, and exchanges
+artifacts through per-shard :class:`~repro.pipeline.cache.ShardDiskCache`
+delta directories that merge back into one warm base store.  The task is
+the whole contract — jobs, provenance, and two cache directory paths — so
+the same shards could run on remote hosts with the cache directories as
+the wire format; the local subprocess pool is just the first transport.
 
 One caveat follows from "only the wall clock differs": records' ``timings``
 are measured while jobs *contend* for cores (and, on the thread runner, the
@@ -23,14 +39,21 @@ be used to *measure* single-job wall clock.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import hashlib
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from contextlib import contextmanager
-from typing import Any, Sequence
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
 
 from repro.circuits.benchmarks import make_benchmark
 from repro.errors import ReproError
 from repro.experiments.api import CompileJob, ExperimentRecord, FnJob, Job
 from repro.pipeline import Pipeline
+from repro.pipeline.cache import DiskCache, ShardDiskCache, shard_scratch
 
 
 def _call_fn_job(job: FnJob) -> Any:
@@ -55,17 +78,40 @@ def _split_output(out: Any) -> tuple[dict[str, Any], dict[str, float]]:
     return dict(out), {}
 
 
+class _ReorderBuffer:
+    """Restores canonical order over out-of-order completions.
+
+    The one definition of the streaming contract's ordering half, shared
+    by every backend that completes work out of order: ``push`` completed
+    records under their canonical index, ``drain`` yields the contiguous
+    prefix that is now safe to emit.
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[int, ExperimentRecord] = {}
+        self._next_index = 0
+
+    def push(self, index: int, record: ExperimentRecord) -> None:
+        self._records[index] = record
+
+    def drain(self) -> Iterator[ExperimentRecord]:
+        while self._next_index in self._records:
+            yield self._records.pop(self._next_index)
+            self._next_index += 1
+
+
 class Runner:
     """Serial execution: the reference backend every other one must match.
 
     ``cache`` (an :class:`~repro.pipeline.cache.ArtifactCache`) is shared
-    by every compile batch of every ``run_jobs`` call on this runner: each
-    compile group's pipeline is cache-wrapped before dispatch, so one
-    cache serves the whole experiment run regardless of backend.  Records
-    are byte-identical with the cache off, cold, or warm — hit/miss counts
-    land in the records' non-canonical ``metrics``.  (A ``MemoryCache``
-    shares within the serial/thread runners only; the process runner needs
-    a ``DiskCache`` to share entries across workers.)
+    by every compile batch of every ``iter_jobs``/``run_jobs`` call on this
+    runner: each compile group's pipeline is cache-wrapped before dispatch,
+    so one cache serves the whole experiment run regardless of backend.
+    Records are byte-identical with the cache off, cold, or warm — hit/miss
+    counts land in the records' non-canonical ``metrics``.  (A
+    ``MemoryCache`` shares within the serial/thread runners only; the
+    process and sharded runners need a ``DiskCache`` to share entries
+    across workers.)
     """
 
     name = "serial"
@@ -85,8 +131,96 @@ class Runner:
         seed: int,
     ) -> list[ExperimentRecord]:
         """Execute every job; records come back in job order."""
-        records: list[ExperimentRecord | None] = [None] * len(jobs)
+        return list(
+            self.iter_jobs(jobs, experiment=experiment, scale=scale, seed=seed)
+        )
 
+    def iter_jobs(
+        self,
+        jobs: Sequence[Job],
+        *,
+        experiment: str,
+        scale: str,
+        seed: int,
+    ) -> Iterator[ExperimentRecord]:
+        """Yield one record per job, in canonical (input) order, as jobs
+        finish.
+
+        Pool backends complete jobs out of order; a reorder buffer holds
+        early completions until every lower-index record has been yielded,
+        so consumers always observe the exact ``run_jobs`` sequence — just
+        incrementally.  The serial backend executes in input order and
+        yields immediately.
+        """
+        jobs = list(jobs)
+        pipelines = self._group_pipelines(jobs)
+        with self._pool() as pool:
+            if pool is None:
+                yield from self._iter_serial(
+                    jobs, pipelines, experiment=experiment, scale=scale, seed=seed
+                )
+            else:
+                yield from self._iter_pool(
+                    pool, jobs, pipelines, experiment=experiment, scale=scale,
+                    seed=seed,
+                )
+
+    # -- shared halves ------------------------------------------------------
+
+    @staticmethod
+    def _check_jobs(jobs: Sequence[Job]) -> None:
+        """Reject unknown job kinds before any execution machinery spins up."""
+        for job in jobs:
+            if not isinstance(job, (CompileJob, FnJob)):
+                raise ReproError(f"runner cannot execute job of type {type(job)!r}")
+
+    def _group_pipelines(self, jobs: Sequence[Job]) -> dict[tuple, Pipeline]:
+        """One cache-wrapped pipeline per ``(settings, baseline)`` group."""
+        self._check_jobs(jobs)
+        pipelines: dict[tuple, Pipeline] = {}
+        for job in jobs:
+            if isinstance(job, CompileJob):
+                group = (job.settings, job.baseline)
+                if group not in pipelines:
+                    pipelines[group] = Pipeline(job.settings, cache=self.cache)
+        return pipelines
+
+    def _iter_serial(
+        self, jobs, pipelines, *, experiment, scale, seed
+    ) -> Iterator[ExperimentRecord]:
+        # In-line execution is already in canonical order: compile jobs go
+        # through one-element compile_many batches (keeping the batch API
+        # the single compilation path) against their group's shared
+        # pipeline, so cache behavior matches the batched path exactly.
+        for job in jobs:
+            if isinstance(job, CompileJob):
+                pipeline = pipelines[(job.settings, job.baseline)]
+                circuit = make_benchmark(
+                    job.family, job.num_qubits, seed=job.benchmark_seed
+                )
+                outcome = _named(
+                    job,
+                    experiment,
+                    lambda p=pipeline, c=circuit, j=job: p.compile_many(
+                        [c], seeds=[j.seed], baseline=j.baseline
+                    )[0],
+                )
+                yield _compile_record(
+                    job, outcome, experiment=experiment, scale=scale, seed=seed
+                )
+            else:
+                out = _named(job, experiment, lambda j=job: _call_fn_job(j))
+                yield _fn_record(
+                    job, out, experiment=experiment, scale=scale, seed=seed
+                )
+
+    def _iter_pool(
+        self, pool, jobs, pipelines, *, experiment, scale, seed
+    ) -> Iterator[ExperimentRecord]:
+        # Submit everything before yielding anything: every compile group
+        # (still batched through compile_many) and every fn job is in
+        # flight at once, so the pool stays saturated instead of draining
+        # group by group.
         compile_groups: dict[tuple, list[tuple[int, CompileJob]]] = {}
         fn_jobs: list[tuple[int, FnJob]] = []
         for index, job in enumerate(jobs):
@@ -94,79 +228,41 @@ class Runner:
                 compile_groups.setdefault((job.settings, job.baseline), []).append(
                     (index, job)
                 )
-            elif isinstance(job, FnJob):
+            else:
                 fn_jobs.append((index, job))
-            else:
-                raise ReproError(f"runner cannot execute job of type {type(job)!r}")
-
-        with self._pool() as pool:
-            # Submit everything before gathering anything: every compile
-            # group (still batched through compile_many) and every fn job is
-            # in flight at once, so the pool stays saturated instead of
-            # draining group by group.
-            batches = []
-            for (settings, baseline), members in compile_groups.items():
-                pipeline = Pipeline(settings, cache=self.cache)
-                circuits = [
-                    make_benchmark(job.family, job.num_qubits, seed=job.benchmark_seed)
-                    for _index, job in members
-                ]
-                if pool is None:
-                    # A serial batch raises mid-call, so name the group here
-                    # (the futures path names the exact job at gather time).
-                    try:
-                        outcomes = pipeline.compile_many(
-                            circuits,
-                            seeds=[job.seed for _index, job in members],
-                            baseline=baseline,
-                        )
-                    except Exception as exc:
-                        keys = [job.key for _index, job in members]
-                        raise ReproError(
-                            f"{experiment} compile group "
-                            f"[{keys[0]} .. {keys[-1]}]: {exc}"
-                        ) from exc
-                else:
-                    outcomes = pipeline.compile_many(
-                        circuits,
-                        seeds=[job.seed for _index, job in members],
-                        baseline=baseline,
-                        executor=pool,
-                        as_futures=True,
-                    )
-                batches.append((members, outcomes))
-            if pool is None:
-                outputs = [
-                    _named(job, experiment, lambda j=job: _call_fn_job(j))
-                    for _index, job in fn_jobs
-                ]
-            else:
-                fn_futures = [pool.submit(_call_fn_job, job) for _index, job in fn_jobs]
-                outputs = [
-                    _named(job, experiment, future.result)
-                    for (_index, job), future in zip(fn_jobs, fn_futures)
-                ]
-
-            for members, outcomes in batches:
-                for (index, job), outcome in zip(members, outcomes):
-                    if pool is not None:
-                        outcome = _named(job, experiment, outcome.result)
-                    records[index] = _compile_record(
-                        job, outcome, experiment=experiment, scale=scale, seed=seed
-                    )
-        for (index, job), out in zip(fn_jobs, outputs):
-            # _named also covers normalization: a malformed fn return value
-            # must name its job, not just die unpacking.
-            fields, timings = _named(job, experiment, lambda o=out: _split_output(o))
-            records[index] = ExperimentRecord(
-                experiment=experiment,
-                scale=scale,
-                seed=seed,
-                job=job.key,
-                fields={**job.meta, **fields},
-                timings=timings,
+        futures: dict = {}
+        for group, members in compile_groups.items():
+            pipeline = pipelines[group]
+            circuits = [
+                make_benchmark(job.family, job.num_qubits, seed=job.benchmark_seed)
+                for _index, job in members
+            ]
+            batch = pipeline.compile_many(
+                circuits,
+                seeds=[job.seed for _index, job in members],
+                baseline=group[1],
+                executor=pool,
+                as_futures=True,
             )
-        return list(records)  # type: ignore[arg-type]
+            for (index, job), future in zip(members, batch):
+                futures[future] = (index, job)
+        for index, job in fn_jobs:
+            futures[pool.submit(_call_fn_job, job)] = (index, job)
+
+        buffer = _ReorderBuffer()
+        for future in as_completed(futures):
+            index, job = futures[future]
+            out = _named(job, experiment, future.result)
+            if isinstance(job, CompileJob):
+                record = _compile_record(
+                    job, out, experiment=experiment, scale=scale, seed=seed
+                )
+            else:
+                record = _fn_record(
+                    job, out, experiment=experiment, scale=scale, seed=seed
+                )
+            buffer.push(index, record)
+            yield from buffer.drain()
 
     @contextmanager
     def _pool(self):
@@ -194,6 +290,162 @@ class ProcessRunner(Runner):
     def _pool(self):
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
             yield pool
+
+
+# ---------------------------------------------------------------------------
+# Sharded execution
+# ---------------------------------------------------------------------------
+
+#: Default shard count when neither the constructor nor the CLI names one.
+DEFAULT_SHARDS = 2
+
+
+def shard_for(key: str, num_shards: int) -> int:
+    """The shard that owns job ``key``: a stable content hash, mod N.
+
+    Deliberately *not* Python's salted ``hash`` — the assignment must be
+    identical across processes, runs, and hosts, because it is part of the
+    sharded contract (a re-run or a remote coordinator must partition a
+    sweep identically to reuse shard artifacts).
+    """
+    digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % num_shards
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one shard needs — the host-agnostic execution contract.
+
+    A task pickles and carries no live resources: jobs (self-seeded),
+    provenance, and two directory paths.  ``base_dir`` is the coordinator's
+    warm artifact store (read-only to the shard); ``delta_dir`` is where
+    the shard's new artifacts land and is what travels back.  Run one with
+    :func:`run_shard` — locally in a subprocess today, on another host
+    tomorrow, with the two cache directories as the wire format either way.
+    """
+
+    shard_index: int
+    experiment: str
+    scale: str
+    seed: int
+    jobs: tuple[tuple[int, Job], ...]  # (canonical index, job) pairs
+    base_dir: str | None = None
+    delta_dir: str | None = None
+
+
+def run_shard(task: ShardTask) -> list[tuple[int, ExperimentRecord]]:
+    """Execute one shard serially; records come back with canonical indices.
+
+    Module-level so a process pool pickles it by reference; takes and
+    returns only picklable values, so any transport that can move a
+    :class:`ShardTask` and a record list (subprocess, socket, object
+    store) can host a shard.
+    """
+    cache = None
+    if task.delta_dir is not None:
+        cache = ShardDiskCache(task.delta_dir, base=task.base_dir)
+    runner = SerialRunner(cache=cache)
+    records = runner.run_jobs(
+        [job for _index, job in task.jobs],
+        experiment=task.experiment,
+        scale=task.scale,
+        seed=task.seed,
+    )
+    return [(index, record) for (index, _job), record in zip(task.jobs, records)]
+
+
+class ShardedRunner(Runner):
+    """Partition the sweep into shards; run each in its own subprocess.
+
+    Jobs are assigned to ``shards`` shards by :func:`shard_for` over the
+    job key — a deterministic, host-independent partition.  Each shard is
+    a :class:`ShardTask` executed by :func:`run_shard` in a subprocess
+    (``max_workers`` caps how many run concurrently; default: all of
+    them).  With a :class:`~repro.pipeline.cache.DiskCache`, every shard
+    reads through the shared base store and writes a private delta
+    directory; the coordinator merges each delta back as its shard
+    completes, so later runs (and later-finishing shards' *future* reruns)
+    start warm.  Records stream through the same reorder buffer as every
+    other backend — a shard is simply the unit of completion — and are
+    byte-identical to serial for any shard count.
+
+    A ``MemoryCache`` is rejected up front: shards are separate processes,
+    and artifact exchange is exactly the disk directory contract.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        cache=None,
+        shards: int | None = None,
+    ) -> None:
+        if cache is not None and not isinstance(cache, DiskCache):
+            raise ReproError(
+                "the sharded runner exchanges artifacts through DiskCache "
+                "directories; use a disk cache (--cache disk --cache-dir DIR) "
+                "or no cache at all"
+            )
+        if shards is not None and shards < 1:
+            raise ReproError(f"shard count must be >= 1, got {shards}")
+        super().__init__(max_workers=max_workers, cache=cache)
+        self.shards = DEFAULT_SHARDS if shards is None else shards
+
+    def iter_jobs(
+        self,
+        jobs: Sequence[Job],
+        *,
+        experiment: str,
+        scale: str,
+        seed: int,
+    ) -> Iterator[ExperimentRecord]:
+        jobs = list(jobs)
+        self._check_jobs(jobs)
+        if not jobs:
+            return
+        members: dict[int, list[tuple[int, Job]]] = {}
+        for index, job in enumerate(jobs):
+            members.setdefault(shard_for(job.key, self.shards), []).append(
+                (index, job)
+            )
+        with shard_scratch(self.cache, prefix="run-") as delta_for:
+            tasks = [
+                ShardTask(
+                    shard_index=shard,
+                    experiment=experiment,
+                    scale=scale,
+                    seed=seed,
+                    jobs=tuple(shard_jobs),
+                    base_dir=str(self.cache.directory) if self.cache else None,
+                    delta_dir=(
+                        str(delta_for(shard))
+                        if delta_for(shard) is not None
+                        else None
+                    ),
+                )
+                for shard, shard_jobs in sorted(members.items())
+            ]
+            workers = self.max_workers or len(tasks)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(run_shard, task): task for task in tasks}
+                buffer = _ReorderBuffer()
+                for future in as_completed(futures):
+                    task = futures[future]
+                    try:
+                        pairs = future.result()
+                    except Exception as exc:
+                        raise ReproError(
+                            f"{experiment} shard {task.shard_index}: {exc}"
+                        ) from exc
+                    if self.cache is not None and task.delta_dir is not None:
+                        # Fold the shard's delta in *before* yielding its
+                        # records: once a consumer has seen a record, the
+                        # artifacts behind it are in the warm store.
+                        self.cache.merge_from(task.delta_dir)
+                    for index, record in pairs:
+                        buffer.push(index, record)
+                    yield from buffer.drain()
 
 
 def _compile_record(
@@ -237,15 +489,43 @@ def _compile_record(
     )
 
 
+def _fn_record(
+    job: FnJob,
+    out: Any,
+    *,
+    experiment: str,
+    scale: str,
+    seed: int,
+) -> ExperimentRecord:
+    """A record from one fn-job return value (fields, optional timings)."""
+    # _named also covers normalization: a malformed fn return value must
+    # name its job, not just die unpacking.
+    fields, timings = _named(job, experiment, lambda: _split_output(out))
+    return ExperimentRecord(
+        experiment=experiment,
+        scale=scale,
+        seed=seed,
+        job=job.key,
+        fields={**job.meta, **fields},
+        timings=timings,
+    )
+
+
 #: Runner name -> class, the CLI's ``--runner`` choices.
 RUNNERS: dict[str, type[Runner]] = {
     "serial": SerialRunner,
     "thread": ThreadRunner,
     "process": ProcessRunner,
+    "sharded": ShardedRunner,
 }
 
 
-def make_runner(name: str, max_workers: int | None = None, cache=None) -> Runner:
+def make_runner(
+    name: str,
+    max_workers: int | None = None,
+    cache=None,
+    shards: int | None = None,
+) -> Runner:
     """Instantiate a runner by name, with an error that lists the options."""
     try:
         runner_cls = RUNNERS[name]
@@ -253,4 +533,10 @@ def make_runner(name: str, max_workers: int | None = None, cache=None) -> Runner
         raise ReproError(
             f"unknown runner {name!r}; available runners: {', '.join(RUNNERS)}"
         ) from None
+    if issubclass(runner_cls, ShardedRunner):
+        return runner_cls(max_workers=max_workers, cache=cache, shards=shards)
+    if shards is not None:
+        raise ReproError(
+            f"shards only applies to the sharded runner, not {name!r}"
+        )
     return runner_cls(max_workers=max_workers, cache=cache)

@@ -10,7 +10,7 @@ the large-scale online pass instead works on the site/bond abstraction of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -18,7 +18,7 @@ program-graph nodes or ancillas (routing wire).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import IRError
 from repro.utils.gridgeom import Coord3D

@@ -184,11 +184,11 @@ class _MapperState:
                 cross_gaps[later[2]].append(gap)
         return [
             LayerDemand(
-                adjacent_connections=adjacent[l],
-                cross_connections=len(cross_gaps[l]),
-                cross_gaps=tuple(cross_gaps[l]),
+                adjacent_connections=adjacent[index],
+                cross_connections=len(cross_gaps[index]),
+                cross_gaps=tuple(cross_gaps[index]),
             )
-            for l in range(self.layer + 1)
+            for index in range(self.layer + 1)
         ]
 
     def _memory_dirty(self) -> bool:

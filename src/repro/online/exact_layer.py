@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.errors import HardwareError
 from repro.graphstate.fusion import apply_fusion
 from repro.graphstate.graph import GraphState

@@ -11,6 +11,7 @@ from repro.pipeline.cache import (
     CachePass,
     DiskCache,
     MemoryCache,
+    ShardDiskCache,
     cache_summary,
     cached_passes,
     circuit_fingerprint,
@@ -45,6 +46,7 @@ __all__ = [
     "PassTiming",
     "Pipeline",
     "PipelineSettings",
+    "ShardDiskCache",
     "TranslatePass",
     "baseline_passes",
     "cache_summary",

@@ -26,6 +26,15 @@ pools and across runs).  Both store *pickled bytes* and deserialize on
 every hit, so a cached artifact is never aliased between compilations —
 bit-identical results cannot be perturbed by downstream mutation.
 
+The disk store doubles as the **artifact wire format between shards** of a
+sharded run (see :class:`~repro.experiments.runners.ShardedRunner`): each
+shard works against a :class:`ShardDiskCache` — reads fall through to the
+coordinator's base directory, writes land in the shard's own delta
+directory — and the coordinator folds completed deltas back with
+:meth:`DiskCache.merge_from`.  A ``max_bytes`` budget with LRU eviction
+(recency = entry file mtime, refreshed on every hit) keeps long-running
+stores, merged shard caches included, bounded.
+
 Hit/miss counts are recorded twice: on the cache object (session totals,
 for reports) and in each compilation's ``PassContext.metrics`` (per-job
 provenance that flows into ``CompilationResult.metrics`` and from there
@@ -37,8 +46,11 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import shutil
 import tempfile
 import threading
+import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any
 
@@ -179,6 +191,11 @@ class MemoryCache(ArtifactCache):
             self._store[key] = blob
 
 
+def _entry_path(root: Path, key: str) -> Path:
+    """Where ``key``'s pickle lives under ``root`` (two-char fan-out)."""
+    return root / key[:2] / f"{key}.pkl"
+
+
 class DiskCache(ArtifactCache):
     """On-disk backend: one pickle file per entry, fanned out by key prefix.
 
@@ -186,28 +203,71 @@ class DiskCache(ArtifactCache):
     threads or whole process-pool workers — can race on a key and the loser
     simply overwrites identical content.  Pickles by *path*, which is what
     makes one cache shareable across a process pool and across runs.
+
+    ``max_bytes`` bounds the store: after every write (and every
+    :meth:`merge_from`) the least-recently-used entries are unlinked until
+    the total payload fits the budget.  Recency is the entry file's mtime,
+    refreshed on every hit, so eviction tracks *use*, not insertion — a
+    long-running service keeps its working set.  Evicted entries simply
+    read as misses and are recomputed; results are unaffected.
     """
 
     name = "disk"
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    def __init__(
+        self, directory: str | os.PathLike, max_bytes: int | None = None
+    ) -> None:
         super().__init__()
+        if max_bytes is not None and max_bytes <= 0:
+            raise CompilationError(f"max_bytes must be positive, got {max_bytes}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.evictions = 0
+        # Running payload estimate so a budgeted store does not pay a full
+        # directory scan per write: seeded from disk once, bumped per
+        # write, re-synced to truth by every authoritative eviction scan.
+        self._approx_bytes = self.total_bytes() if max_bytes is not None else 0
 
     def _path(self, key: str) -> Path:
-        return self.directory / key[:2] / f"{key}.pkl"
+        return _entry_path(self.directory, key)
+
+    def _entries(self):
+        """Every entry file currently in the store (depth-2 ``*.pkl`` only,
+        so shard scratch under ``.shards/`` never counts as an entry)."""
+        return self.directory.glob("*/*.pkl")
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+        return sum(1 for _ in self._entries())
+
+    def total_bytes(self) -> int:
+        """Payload bytes currently on disk (entries only, not directories)."""
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:  # raced with a concurrent eviction
+                continue
+        return total
 
     def _read(self, key: str) -> bytes | None:
+        path = self._path(key)
         try:
-            return self._path(key).read_bytes()
+            blob = path.read_bytes()
         except FileNotFoundError:
             return None
+        try:
+            os.utime(path)  # refresh LRU recency: a hit is a use
+        except OSError:
+            pass  # concurrently evicted after the read — the hit stands
+        return blob
 
     def _write(self, key: str, blob: bytes) -> None:
+        if self.max_bytes is not None and len(blob) > self.max_bytes:
+            # An artifact bigger than the whole budget can never be kept;
+            # storing it would evict every warm entry and then itself.
+            # Skip the write — the entry simply reads as a miss forever.
+            return
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         handle = tempfile.NamedTemporaryFile(
@@ -224,6 +284,201 @@ class DiskCache(ArtifactCache):
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            with self._lock:
+                self._approx_bytes += len(blob)
+                over_budget = self._approx_bytes > self.max_bytes
+            if over_budget:
+                self._evict_to_budget()
+
+    # -- size budgeting -----------------------------------------------------
+
+    #: Eviction low-water mark: scans drop the store to this fraction of
+    #: ``max_bytes``, not to the brim, so a store hovering at its budget
+    #: does not pay a full directory re-scan on every subsequent write.
+    EVICT_TO_FRACTION = 0.9
+
+    def _evict_to_budget(self) -> int:
+        """Unlink least-recently-used entries until ``max_bytes`` is met.
+
+        Safe against concurrent writers/evictors: stat and unlink races are
+        tolerated (a vanished file was someone else's eviction).  Returns
+        the number of entries this call removed.
+        """
+        if self.max_bytes is None:
+            return 0
+        entries = []
+        total = 0
+        for path in self._entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime_ns, str(path), stat.st_size, path))
+            total += stat.st_size
+        entries.sort()  # oldest first; path string breaks mtime ties stably
+        removed = 0
+        target = (
+            self.max_bytes * self.EVICT_TO_FRACTION
+            if total > self.max_bytes
+            else self.max_bytes
+        )
+        for _mtime, _tie, size, path in entries:
+            if total <= target:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        with self._lock:
+            self.evictions += removed
+            self._approx_bytes = total  # re-sync the estimate to truth
+        return removed
+
+    # -- shard exchange -----------------------------------------------------
+
+    def merge_from(self, shard_dir: str | os.PathLike) -> int:
+        """Fold a shard's delta directory into this store and remove it.
+
+        The move is per-entry ``os.replace`` — atomic, last-write-wins, and
+        safe because keys are content addresses (two shards writing one key
+        wrote identical payloads) — with a copy-into-temp fallback when the
+        delta lives on a different filesystem (a remote-shipped delta
+        unpacked under ``/tmp``).  Entries larger than ``max_bytes`` are
+        dropped instead of merged, mirroring ``_write``'s skip: folding one
+        in would evict the whole warm store and then the entry itself.
+        Merged entries arrive with fresh mtimes, so a just-merged artifact
+        is the *newest* under LRU; the budget is re-applied afterwards so
+        merged stores stay bounded.  Returns the number of entries merged.
+        """
+        shard_root = Path(shard_dir)
+        merged = 0
+        if shard_root.exists():
+            for source in shard_root.glob("*/*.pkl"):
+                if self.max_bytes is not None:
+                    try:
+                        oversized = source.stat().st_size > self.max_bytes
+                    except OSError:
+                        continue
+                    if oversized:
+                        source.unlink(missing_ok=True)
+                        continue
+                target = _entry_path(self.directory, source.stem)
+                target.parent.mkdir(parents=True, exist_ok=True)
+                try:
+                    os.replace(source, target)
+                except OSError:
+                    # EXDEV and friends: stage a copy next to the target so
+                    # the final replace stays atomic, then drop the source.
+                    handle = tempfile.NamedTemporaryFile(
+                        dir=target.parent, prefix=f".{source.stem[:8]}-", delete=False
+                    )
+                    handle.close()
+                    shutil.copy2(source, handle.name)
+                    os.replace(handle.name, target)
+                    source.unlink(missing_ok=True)
+                try:
+                    os.utime(target)
+                except OSError:
+                    pass
+                merged += 1
+            shutil.rmtree(shard_root, ignore_errors=True)
+        self._evict_to_budget()
+        return merged
+
+
+class ShardDiskCache(DiskCache):
+    """One shard's view of a sharded run's artifact store.
+
+    The sharded execution contract ships two directories per shard: a
+    read-only *base* (the coordinator's warm store, possibly copied to a
+    remote host) and the shard's own *delta* directory that travels back.
+    Reads check the delta first and fall through to the base; writes land
+    only in the delta — the base is never mutated by a shard, which is
+    what makes the directory pair a host-agnostic wire format.  The
+    coordinator folds completed deltas in with :meth:`DiskCache.merge_from`.
+    """
+
+    name = "disk-shard"
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        base: str | os.PathLike | None = None,
+    ) -> None:
+        super().__init__(directory)
+        self.base = Path(base) if base is not None else None
+
+    def _read(self, key: str) -> bytes | None:
+        blob = super()._read(key)
+        if blob is None and self.base is not None:
+            path = _entry_path(self.base, key)
+            try:
+                blob = path.read_bytes()
+            except FileNotFoundError:
+                return None
+            try:
+                # A fallthrough hit is a *use* of the base entry: refresh
+                # its recency so a budgeted coordinator store does not
+                # evict the working set its shards are actively reading.
+                os.utime(path)
+            except OSError:
+                pass  # read-only or remote-copied base — the hit stands
+        return blob
+
+
+#: Scratch from a run that died more than this long ago is fair game for
+#: the next run's startup sweep; any live run's scratch is far younger.
+STALE_SCRATCH_SECONDS = 24 * 3600
+
+
+def _sweep_stale_scratch(root: Path) -> None:
+    """Remove scratch left behind by crashed runs (best effort).
+
+    A SIGKILL/OOM mid-run skips ``shard_scratch``'s cleanup, and stale
+    deltas are invisible to the entry globs that ``max_bytes`` budgets —
+    without a sweep the store would grow without bound in exactly the
+    directory the budget claims to bound.  Age-gating keeps the sweep safe
+    for concurrent runs: their scratch is seconds old, not a day.
+    """
+    cutoff = time.time() - STALE_SCRATCH_SECONDS
+    try:
+        stale_candidates = list(root.iterdir())
+    except OSError:
+        return
+    for candidate in stale_candidates:
+        try:
+            if candidate.is_dir() and candidate.stat().st_mtime < cutoff:
+                shutil.rmtree(candidate, ignore_errors=True)
+        except OSError:
+            continue
+
+
+@contextmanager
+def shard_scratch(base: DiskCache | None, prefix: str):
+    """Per-run scratch root for shard delta directories, cleaned on exit.
+
+    The one definition of where shard deltas live: inside ``base``'s store
+    under ``.shards/`` (outside the two-level entry namespace, so entry
+    globs and byte accounting never see scratch) in a fresh tempdir, so
+    concurrent sharded runs against one store cannot collide.  Yields a
+    ``shard -> delta directory`` mapper — or a mapper returning ``None``
+    for every shard when there is no base store to exchange against.
+    Entry also sweeps day-old scratch that a crashed run left behind.
+    """
+    if base is None:
+        yield lambda shard: None
+        return
+    root = base.directory / ".shards"
+    root.mkdir(parents=True, exist_ok=True)
+    _sweep_stale_scratch(root)
+    scratch = Path(tempfile.mkdtemp(prefix=prefix, dir=root))
+    try:
+        yield lambda shard: scratch / f"shard-{shard}"
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
 
 
 #: CLI ``--cache`` vocabulary -> constructor behavior (see :func:`make_cache`).
@@ -231,9 +486,19 @@ CACHE_KINDS = ("off", "memory", "disk")
 
 
 def make_cache(
-    kind: str, directory: str | os.PathLike | None = None
+    kind: str,
+    directory: str | os.PathLike | None = None,
+    max_bytes: int | None = None,
 ) -> ArtifactCache | None:
-    """Build a cache from the CLI vocabulary (``off`` -> ``None``)."""
+    """Build a cache from the CLI vocabulary (``off`` -> ``None``).
+
+    ``max_bytes`` applies to the disk backend only: it is the LRU eviction
+    budget (the memory backend lives and dies with the process).
+    """
+    if max_bytes is not None and kind != "disk":
+        # Silently dropping a budget would let "--cache-max-bytes" without
+        # a disk cache masquerade as a bounded store.
+        raise CompilationError("max_bytes budgets apply to the disk cache only")
     if kind == "off":
         return None
     if kind == "memory":
@@ -241,7 +506,7 @@ def make_cache(
     if kind == "disk":
         if directory is None:
             raise CompilationError("a disk cache needs a directory (--cache-dir)")
-        return DiskCache(directory)
+        return DiskCache(directory, max_bytes=max_bytes)
     raise CompilationError(
         f"unknown cache kind {kind!r}; use one of: {', '.join(CACHE_KINDS)}"
     )

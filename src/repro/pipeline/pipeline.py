@@ -15,7 +15,7 @@ from __future__ import annotations
 import functools
 import time
 from collections.abc import Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 
 from repro.baseline.retry import BaselineResult
 from repro.circuits.circuit import Circuit
@@ -46,6 +46,21 @@ def _compile_one(
         return one(circuit, seed)
     except Exception as exc:
         raise CompilationError(f"compiling {circuit.name}: {exc}") from exc
+
+
+def _compile_shard(
+    pipeline: "Pipeline", baseline: bool, items: list[tuple[int, Circuit, int | None]]
+):
+    """One sharded-backend task: compile a slice of the batch serially.
+
+    Module-level (process pools pickle it by reference) and self-contained:
+    the pipeline it receives is already bound to the shard's own cache
+    view, so the only thing flowing back is the indexed result list.
+    """
+    return [
+        (index, _compile_one(pipeline, baseline, circuit, seed))
+        for index, circuit, seed in items
+    ]
 
 
 def default_passes() -> tuple[CompilerPass, ...]:
@@ -178,16 +193,23 @@ class Pipeline:
         executor=None,
         as_futures: bool = False,
         cache=None,
+        shards: int | None = None,
     ) -> list[CompilationResult] | list[BaselineResult] | list:
         """Compile a batch of circuits, optionally across a worker pool.
 
         ``seeds`` is either one root seed shared by every job (each job's
         streams stay independent because they are keyed by circuit name) or
         a per-circuit sequence.  ``backend`` selects the execution strategy:
-        ``"serial"``, ``"thread"``, or ``"process"`` (contexts are
+        ``"serial"``, ``"thread"``, ``"process"`` (contexts are
         self-contained and picklable, so the process pool is a pure runner
-        swap); ``None`` keeps the legacy inference — a thread pool when
-        ``max_workers > 1``, serial otherwise.  A caller managing many
+        swap), or ``"sharded"`` — the batch is deterministically
+        partitioned into ``shards`` slices (round-robin by batch index,
+        default ``max_workers`` or 2), each compiled serially in its own
+        subprocess; with a ``DiskCache`` on the pipeline, every shard reads
+        through the shared store, writes a private delta directory, and the
+        deltas merge back as shards finish (the sharded runner's artifact
+        exchange, at the batch level); ``None`` keeps the legacy inference
+        — a thread pool when ``max_workers > 1``, serial otherwise.  A caller managing many
         batches (the experiment runners) can pass a live ``executor``
         instead, so one pool serves every batch rather than paying startup
         per call; with ``as_futures=True`` the batch is submitted without
@@ -214,6 +236,7 @@ class Pipeline:
                 backend=backend,
                 executor=executor,
                 as_futures=as_futures,
+                shards=shards,
             )
         jobs = list(circuits)
         if seeds is None or isinstance(seeds, int):
@@ -227,10 +250,14 @@ class Pipeline:
         runner = functools.partial(_compile_one, self, baseline)
         if as_futures and executor is None:
             raise CompilationError("as_futures=True requires an executor")
-        if executor is not None and (backend is not None or max_workers is not None):
+        if shards is not None and shards < 1:
+            raise CompilationError(f"shard count must be >= 1, got {shards}")
+        if executor is not None and (
+            backend is not None or max_workers is not None or shards is not None
+        ):
             raise CompilationError(
-                "executor conflicts with backend/max_workers: the supplied "
-                "pool already fixes both"
+                "executor conflicts with backend/max_workers/shards: the "
+                "supplied pool already fixes the execution strategy"
             )
         if executor is not None:
             futures = [
@@ -242,6 +269,14 @@ class Pipeline:
             return [future.result() for future in futures]
         if backend is None:
             backend = "thread" if max_workers is not None and max_workers > 1 else "serial"
+        if shards is not None and backend != "sharded":
+            raise CompilationError(
+                f"shards only applies to backend='sharded', not {backend!r}"
+            )
+        if backend == "sharded":
+            return self._compile_sharded(
+                jobs, job_seeds, baseline, shards or max_workers or 2
+            )
         if backend == "serial":
             return [runner(circuit, seed) for circuit, seed in zip(jobs, job_seeds)]
         if backend == "thread":
@@ -251,7 +286,62 @@ class Pipeline:
         else:
             raise CompilationError(
                 f"unknown compile_many backend {backend!r}; "
-                "use 'serial', 'thread', or 'process'"
+                "use 'serial', 'thread', 'process', or 'sharded'"
             )
         with pool_cls(max_workers=max_workers) as pool:
             return list(pool.map(runner, jobs, job_seeds))
+
+    def _compile_sharded(
+        self,
+        jobs: list[Circuit],
+        job_seeds: list[int | None],
+        baseline: bool,
+        shards: int,
+    ) -> list:
+        """Partition the batch round-robin into subprocess shards.
+
+        Each shard compiles its slice serially against its own
+        :class:`~repro.pipeline.cache.ShardDiskCache` view of the
+        pipeline's disk store (reads fall through to the shared base,
+        writes land in a private delta merged back on completion) — the
+        same directory-pair wire format the experiments-layer
+        ``ShardedRunner`` uses, applied to a raw circuit batch.  Results
+        come back in input order, byte-identical for any shard count.
+        """
+        from repro.pipeline.cache import DiskCache, ShardDiskCache, shard_scratch
+
+        if self.cache is not None and not isinstance(self.cache, DiskCache):
+            # Same guard as the experiments-layer ShardedRunner: a
+            # per-process cache snapshot cannot exchange artifacts, and
+            # silently degrading would look like a cache that never warms.
+            raise CompilationError(
+                "the sharded backend exchanges artifacts through DiskCache "
+                "directories; use a disk cache or none at all"
+            )
+        base = self.cache
+        members: dict[int, list[tuple[int, Circuit, int | None]]] = {}
+        for index, (circuit, seed) in enumerate(zip(jobs, job_seeds)):
+            members.setdefault(index % shards, []).append((index, circuit, seed))
+        results: list = [None] * len(jobs)
+        with shard_scratch(base, prefix="batch-") as delta_for:
+            with ProcessPoolExecutor(max_workers=min(shards, len(members) or 1)) as pool:
+                futures = {}
+                for shard, items in sorted(members.items()):
+                    delta = delta_for(shard)
+                    worker = self
+                    if delta is not None:
+                        worker = self.with_cache(
+                            ShardDiskCache(delta, base=base.directory),
+                            self.cache_only,
+                        )
+                    futures[
+                        pool.submit(_compile_shard, worker, baseline, items)
+                    ] = delta
+                for future in as_completed(futures):
+                    delta = futures[future]
+                    pairs = future.result()
+                    if base is not None and delta is not None:
+                        base.merge_from(delta)
+                    for index, result in pairs:
+                        results[index] = result
+        return results

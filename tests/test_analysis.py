@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.analysis import (
-    Summary,
     bootstrap_mean,
     crossing_point,
     geometric_mean,

@@ -41,13 +41,13 @@ class TestOneQPlanner:
         assert plan.depth >= 1
         assert plan.total_fusions > 0
         # Merging contributes (m-1) root-leaf fusions per occupied site.
-        assert sum(l.intra_fusions for l in plan.layers) >= 2 * plan.node_count
+        assert sum(layer.intra_fusions for layer in plan.layers) >= 2 * plan.node_count
 
     def test_plan_has_inter_layer_fusions(self):
         pattern = translate_circuit(qaoa(4, seed=0))
         config = HardwareConfig(rsl_size=24)
         plan = plan_oneq(pattern, config)
-        assert sum(l.inter_fusions for l in plan.layers) > 0
+        assert sum(layer.inter_fusions for layer in plan.layers) > 0
 
 
 class TestRetryExecutor:

@@ -232,3 +232,192 @@ class TestCachedCompilation:
         # Workers wrote through to the shared directory, so the warm pass
         # hit every stage of every job.
         assert all(r.metrics.get("cache_hits", 0) == 3 for r in warm)
+
+    def test_sharded_backend_matches_serial_and_warms(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        pipeline = Pipeline(SETTINGS, cache=cache)
+        circuits = [make_benchmark("qaoa", 4, seed=s) for s in range(4)]
+        seeds = [0, 1, 2, 3]
+        serial = Pipeline(SETTINGS).compile_many(circuits, seeds=seeds)
+        for shards in (1, 2, 3):
+            batch = pipeline.compile_many(
+                circuits, seeds=seeds, backend="sharded", shards=shards
+            )
+            assert [_metrics(r) for r in batch] == [_metrics(r) for r in serial]
+        # Shard deltas merged back after the cold run, so later sharded runs
+        # (any shard count) hit every stage of every job.
+        warm = pipeline.compile_many(circuits, seeds=seeds, backend="sharded", shards=2)
+        assert all(r.metrics.get("cache_hits", 0) == 3 for r in warm)
+        # Scratch directories are cleaned up; only real entries remain.
+        assert not list((tmp_path / ".shards").glob("*"))
+
+    def test_shards_param_requires_sharded_backend(self):
+        with pytest.raises(CompilationError, match="sharded"):
+            Pipeline(SETTINGS).compile_many([CIRCUIT], backend="serial", shards=2)
+
+    def test_sharded_backend_rejects_memory_cache(self):
+        pipeline = Pipeline(SETTINGS, cache=MemoryCache())
+        with pytest.raises(CompilationError, match="DiskCache"):
+            pipeline.compile_many([CIRCUIT], backend="sharded", shards=2)
+
+    def test_invalid_shard_counts_and_executor_conflict(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        with pytest.raises(CompilationError, match=">= 1"):
+            Pipeline(SETTINGS).compile_many([CIRCUIT], backend="sharded", shards=0)
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            # An explicit shard request must never be silently ignored.
+            with pytest.raises(CompilationError, match="executor conflicts"):
+                Pipeline(SETTINGS).compile_many([CIRCUIT], executor=pool, shards=2)
+
+
+class TestEviction:
+    """The max_bytes LRU budget: recency tracking, bounds, and accounting."""
+
+    def _fill(self, cache, names, payload_bytes=200):
+        for name in names:
+            cache.store(name, {"artifacts": {"x": b"a" * payload_bytes}, "metrics": {}})
+
+    def test_budget_bounds_total_bytes(self, tmp_path):
+        cache = DiskCache(tmp_path, max_bytes=2000)
+        self._fill(cache, [f"k{i:02d}" for i in range(20)], payload_bytes=300)
+        assert cache.total_bytes() <= 2000
+        assert cache.evictions > 0
+        assert len(cache) < 20
+
+    def test_least_recently_used_goes_first(self, tmp_path):
+        import os
+        import time
+
+        cache = DiskCache(tmp_path, max_bytes=10**6)
+        self._fill(cache, ["old", "mid", "new"])
+        # Pin distinct mtimes (filesystem granularity is not guaranteed),
+        # then touch "old" via a hit so "mid" becomes the LRU entry.
+        now = time.time()
+        for name, age in (("old", 300), ("mid", 200), ("new", 100)):
+            os.utime(cache._path(name), (now - age, now - age))
+        assert cache.fetch("old") is not None
+        cache.max_bytes = cache.total_bytes() - 1  # force one eviction
+        cache.store("extra", {"artifacts": {}, "metrics": {}})
+        assert cache.fetch("mid") is None  # evicted: least recently used
+        assert cache.fetch("old") is not None  # the hit refreshed it
+        assert cache.fetch("new") is not None
+
+    def test_evicted_entry_reads_as_miss_and_recomputes(self, tmp_path):
+        cache = DiskCache(tmp_path, max_bytes=1000)
+        self._fill(cache, [f"k{i}" for i in range(4)], payload_bytes=400)
+        assert cache.evictions > 0
+        assert any(cache.fetch(f"k{i}") is None for i in range(4))
+        # End-to-end correctness under a budget nothing can fit: every
+        # artifact is skipped as oversized, every lookup misses, results
+        # are still byte-identical.
+        tight = DiskCache(tmp_path / "tight", max_bytes=1)
+        pipeline = Pipeline(SETTINGS, cache=tight)
+        first = pipeline.compile(CIRCUIT, seed=0)
+        second = pipeline.compile(CIRCUIT, seed=0)
+        assert _metrics(first) == _metrics(second)
+        assert second.metrics.get("cache_hits", 0) == 0  # nothing survived
+        assert len(tight) == 0  # oversized artifacts were never stored
+
+    def test_oversized_entry_skipped_without_thrashing_warm_set(self, tmp_path):
+        cache = DiskCache(tmp_path, max_bytes=1500)
+        self._fill(cache, ["warm1", "warm2"], payload_bytes=300)
+        survivors = len(cache)
+        cache.store("huge", {"artifacts": {"x": b"a" * 5000}, "metrics": {}})
+        assert cache.fetch("huge") is None  # never stored: reads as a miss
+        assert len(cache) == survivors  # the warm set was not sacrificed
+        assert cache.evictions == 0
+
+    def test_invalid_budgets_rejected(self, tmp_path):
+        with pytest.raises(CompilationError, match="positive"):
+            DiskCache(tmp_path, max_bytes=0)
+        # A budget without a disk store must error, never silently no-op.
+        with pytest.raises(CompilationError, match="disk"):
+            make_cache("memory", max_bytes=100)
+        with pytest.raises(CompilationError, match="disk"):
+            make_cache("off", max_bytes=100)
+        assert make_cache("disk", tmp_path, max_bytes=100).max_bytes == 100
+
+    def test_budget_survives_reopening_an_existing_store(self, tmp_path):
+        # The running estimate seeds from disk, so a reopened store still
+        # enforces its budget on the next write.
+        unbounded = DiskCache(tmp_path)
+        self._fill(unbounded, [f"k{i:02d}" for i in range(10)], payload_bytes=300)
+        reopened = DiskCache(tmp_path, max_bytes=1500)
+        reopened.store("one-more", {"artifacts": {"x": b"a" * 300}, "metrics": {}})
+        assert reopened.total_bytes() <= 1500
+        assert reopened.evictions > 0
+
+
+class TestShardExchange:
+    """ShardDiskCache read-through/write-local views and merge_from."""
+
+    def test_reads_fall_through_writes_stay_local(self, tmp_path):
+        from repro.pipeline import ShardDiskCache
+
+        base = DiskCache(tmp_path / "base")
+        base.store("warm", {"artifacts": {"x": 1}, "metrics": {}})
+        shard = ShardDiskCache(tmp_path / "delta", base=base.directory)
+        assert shard.fetch("warm") == {"artifacts": {"x": 1}, "metrics": {}}
+        shard.store("fresh", {"artifacts": {"y": 2}, "metrics": {}})
+        assert len(base) == 1  # the base never sees shard writes...
+        assert base.fetch("fresh") is None
+        assert shard.fetch("fresh") is not None  # ...but the shard sees both
+
+    def test_merge_from_folds_delta_and_removes_it(self, tmp_path):
+        from repro.pipeline import ShardDiskCache
+
+        base = DiskCache(tmp_path / "base")
+        shard = ShardDiskCache(tmp_path / "delta", base=base.directory)
+        shard.store("a", {"artifacts": {}, "metrics": {}})
+        shard.store("b", {"artifacts": {}, "metrics": {}})
+        assert base.merge_from(shard.directory) == 2
+        assert base.fetch("a") is not None and base.fetch("b") is not None
+        assert not shard.directory.exists()
+
+    def test_merge_applies_the_budget(self, tmp_path):
+        base = DiskCache(tmp_path / "base", max_bytes=500)
+        delta = DiskCache(tmp_path / "delta")
+        for index in range(10):
+            delta.store(
+                f"k{index}", {"artifacts": {"x": b"a" * 200}, "metrics": {}}
+            )
+        base.merge_from(delta.directory)
+        assert base.total_bytes() <= 500
+
+    def test_merge_skips_oversized_entries_without_thrashing(self, tmp_path):
+        base = DiskCache(tmp_path / "base", max_bytes=2000)
+        self._warm = ["w1", "w2", "w3"]
+        for name in self._warm:
+            base.store(name, {"artifacts": {"x": b"a" * 300}, "metrics": {}})
+        survivors = len(base)
+        delta = DiskCache(tmp_path / "delta")
+        delta.store("huge", {"artifacts": {"x": b"a" * 5000}, "metrics": {}})
+        merged = base.merge_from(delta.directory)
+        assert merged == 0  # the oversized entry was dropped, not folded in
+        assert base.fetch("huge") is None
+        assert len(base) == survivors  # the warm set was not sacrificed
+        assert not delta.directory.exists()
+
+    def test_fallthrough_hit_refreshes_base_recency(self, tmp_path):
+        import os
+
+        from repro.pipeline import ShardDiskCache
+
+        base = DiskCache(tmp_path / "base")
+        base.store("warm", {"artifacts": {}, "metrics": {}})
+        entry = base._path("warm")
+        os.utime(entry, (1, 1))  # ancient mtime: first in line for eviction
+        shard = ShardDiskCache(tmp_path / "delta", base=base.directory)
+        assert shard.fetch("warm") is not None
+        # The shard's use must count as recency on the coordinator's store.
+        assert entry.stat().st_mtime > 1
+
+    def test_shard_cache_pickles(self, tmp_path):
+        from repro.pipeline import ShardDiskCache
+
+        base = DiskCache(tmp_path / "base")
+        base.store("k", {"artifacts": {}, "metrics": {}})
+        shard = ShardDiskCache(tmp_path / "delta", base=base.directory)
+        clone = pickle.loads(pickle.dumps(shard))
+        assert clone.fetch("k") is not None  # read-through survives pickling

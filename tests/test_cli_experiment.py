@@ -136,3 +136,78 @@ class TestCacheFlags:
     def test_disk_cache_requires_directory(self):
         with pytest.raises(SystemExit, match="--cache-dir"):
             main(["experiment", "--name", "fig15", "--cache", "disk"])
+
+
+class TestStreamingFlags:
+    def test_stream_jsonl_out_matches_blocking_records(self, capsys, tmp_path):
+        out = tmp_path / "fig15.jsonl"
+        code = main(["experiment", "--name", "fig15", "--stream", "--out", str(out)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Fig. 15" in captured.out  # rendered table still prints
+        assert "streamed" in captured.err  # per-record progress on stderr
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        reference = run_experiment("fig15", "bench", seed=0)
+        assert [line["job"] for line in lines] == [
+            record.job for record in reference.records
+        ]
+        assert [line["fields"] for line in lines] == [
+            record.fields for record in reference.records
+        ]
+
+    def test_stream_csv_out_matches_blocking_rows(self, tmp_path):
+        out = tmp_path / "fig15.csv"
+        code = main(["experiment", "--name", "fig15", "--stream", "--out", str(out)])
+        assert code == 0
+        with out.open() as handle:
+            rows = list(csv.DictReader(handle))
+        reference = run_experiment("fig15", "bench", seed=0)
+        assert len(rows) == len(reference.records)
+        for row, record in zip(rows, reference.records):
+            assert row["job"] == record.job
+            assert int(row["logical_layers"]) == record.fields["logical_layers"]
+
+    def test_stream_json_still_prints_full_result(self, capsys):
+        code = main(["experiment", "--name", "fig15", "--stream", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["experiment"] == "fig15"
+        assert payload["records"][0]["fields"]["logical_layers"] > 0
+
+
+class TestShardedFlags:
+    def test_sharded_runner_json_fields_match_serial(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "artifacts")
+        code = main(
+            ["experiment", "--name", "fig14", "--json", "--runner", "sharded",
+             "--shards", "3", "--cache-dir", cache_dir]
+        )
+        cold = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert cold["runner"] == "sharded"
+        assert cold["cache"]["hits"] == 0 and cold["cache"]["misses"] > 0
+        # Warm re-run at a different shard count: the merged shard deltas
+        # serve every lookup, and the deterministic fields are unchanged.
+        code = main(
+            ["experiment", "--name", "fig14", "--json", "--runner", "sharded",
+             "--shards", "2", "--cache-dir", cache_dir]
+        )
+        warm = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert warm["cache"]["hit_rate"] == 1.0
+        assert [entry["fields"] for entry in warm["records"]] == [
+            entry["fields"] for entry in cold["records"]
+        ]
+
+    def test_shards_with_other_runner_is_usage_error(self, capsys):
+        code = main(["experiment", "--name", "fig15", "--shards", "2"])
+        assert code == 2
+        assert "sharded" in capsys.readouterr().err
+
+    def test_memory_cache_with_sharded_runner_is_usage_error(self, capsys):
+        code = main(
+            ["experiment", "--name", "fig15", "--runner", "sharded",
+             "--cache", "memory"]
+        )
+        assert code == 2
+        assert "DiskCache" in capsys.readouterr().err

@@ -1,6 +1,5 @@
 """Unit and property tests for the disjoint-set union."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.utils.dsu import DisjointSet

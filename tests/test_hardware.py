@@ -1,6 +1,5 @@
 """Tests for the hardware model: config, fusion device, delay lines, RSGs."""
 
-import numpy as np
 import pytest
 
 from repro.errors import HardwareError

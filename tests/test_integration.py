@@ -16,10 +16,10 @@ from repro.circuits import (
 )
 from repro.compiler import OnePercCompiler
 from repro.graphstate import GraphState, Tableau, graph_from_adjacency
-from repro.ir import InstructionInterpreter, lower_ir
+from repro.ir import InstructionInterpreter
 from repro.mbqc import DependencyDAG, run_pattern, translate_circuit
 from repro.offline import OfflineMapper
-from repro.online import LayerDemand, OnlineReshaper
+from repro.online import OnlineReshaper
 from repro.hardware import HardwareConfig
 from repro.graphstate.resource import ResourceStateSpec
 

@@ -7,7 +7,6 @@ from repro.ir import (
     ROLE_ANCILLA,
     ROLE_GRAPH,
     ROLE_WORLDLINE,
-    EnableSpatialVEdge,
     EnableTemporalVEdge,
     FlexLatticeIR,
     InstructionInterpreter,

@@ -6,7 +6,6 @@ import pytest
 from repro.errors import RenormalizationError
 from repro.online.lattice3d import (
     CUBIC_BOND_THRESHOLD,
-    Percolated3D,
     sample_lattice3d,
     spanning_probability_3d,
 )

@@ -11,7 +11,6 @@ from repro.hardware import FusionDevice, HardwareConfig
 from repro.online import (
     LayerDemand,
     OnlineReshaper,
-    PercolatedLattice,
     effective_bond_probability,
     form_layer,
     modular_renormalize,

@@ -14,9 +14,7 @@ from repro.compiler import OnePercCompiler
 from repro.errors import CompilationError
 from repro.online.percolation import sample_lattice
 from repro.pipeline import (
-    BaselinePass,
     CompilerPass,
-    LowerIRPass,
     OfflineMapPass,
     OnlineReshapePass,
     PassContext,

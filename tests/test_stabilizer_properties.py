@@ -6,7 +6,6 @@ under random Clifford noise that should not change the graph.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graphstate import GraphState, PauliProduct, Tableau, graph_from_adjacency
