@@ -46,3 +46,20 @@ def test_process_runner_matches_golden(name, once):
     result = once(get_experiment(name).run, "bench", 0, runner)
     assert result.runner == "process"
     assert_matches_golden(name, result.records)
+
+
+@pytest.mark.parametrize("runner_kind", ["serial", "thread", "process", "sharded"])
+def test_scalar_pathfind_matches_golden_on_every_runner(runner_kind):
+    """The scalar path-search oracle reproduces the golden records — which
+    the regeneration bench pins to the default *vector* pathfinder — on
+    every backend.  fig14 is the probe: it exercises renormalize through
+    compile jobs (panel a) and through modular/non-modular FnJobs with the
+    visited-sites proxy as a deterministic field (panel b), so any
+    divergence in paths or accounting shows up byte-for-byte."""
+    kwargs = {"shards": 2} if runner_kind == "sharded" else {"max_workers": 2}
+    if runner_kind == "serial":
+        kwargs = {}
+    runner = make_runner(runner_kind, **kwargs)
+    result = get_experiment("fig14").run("bench", 0, runner, pathfind="scalar")
+    assert result.runner == runner_kind
+    assert_matches_golden("fig14", result.records)

@@ -1,10 +1,12 @@
 """Perf-trajectory snapshot for the online hot path and the pass pipeline.
 
-Times the two ``components()`` implementations and ``renormalize`` on
-size-48 RSLs (the 4-qubit @ p = 0.75 configuration of Table 1), asserts the
-vectorized flood fill holds its >= 3x advantage over the union-find
-reference, and records the throughputs to ``benchmarks/BENCH_pipeline.json``
-so later PRs can track the trajectory.
+Times the two ``components()`` implementations and ``renormalize`` under
+both path-search implementations on size-48 RSLs (the 4-qubit @ p = 0.75
+configuration of Table 1), asserts the vectorized flood fill and the
+wavefront path search each hold their >= 3x advantage over the scalar
+references, and records the throughputs (plus the qaoa4 per-pass seconds,
+including ``online-reshape``) to ``benchmarks/BENCH_pipeline.json`` so
+later PRs can track the trajectory.
 """
 
 from __future__ import annotations
@@ -54,6 +56,9 @@ def test_components_speedup_and_snapshot():
     renorm_ops, renorm_ms = _throughput(
         lambda lat: renormalize(lat.copy(), TARGET), lattices
     )
+    scalar_ops, scalar_ms = _throughput(
+        lambda lat: renormalize(lat.copy(), TARGET, pathfind="scalar"), lattices
+    )
 
     # One end-to-end compile for per-pass seconds context.
     from repro.circuits import make_benchmark
@@ -63,6 +68,7 @@ def test_components_speedup_and_snapshot():
     ).compile(make_benchmark("qaoa", 4, seed=0))
 
     speedup = vec_ms and dsu_ms / vec_ms
+    pathfind_speedup = renorm_ms and scalar_ms / renorm_ms
     snapshot = {
         "rsl_size": RSL_SIZE,
         "bond_probability": 0.75,
@@ -76,6 +82,12 @@ def test_components_speedup_and_snapshot():
             "ops_per_s": renorm_ops,
             "mean_ms": renorm_ms,
         },
+        "renormalize_scalar_pathfind": {
+            "target_size": TARGET,
+            "ops_per_s": scalar_ops,
+            "mean_ms": scalar_ms,
+        },
+        "pathfind_speedup": pathfind_speedup,
         "compile_qaoa4_pass_seconds": result.timings_by_pass,
     }
     SNAPSHOT.write_text(json.dumps(snapshot, indent=2) + "\n")
@@ -83,4 +95,9 @@ def test_components_speedup_and_snapshot():
     assert speedup >= 3.0, (
         f"vectorized components() is only {speedup:.1f}x the DSU version "
         f"({vec_ms:.3f} ms vs {dsu_ms:.3f} ms at size {RSL_SIZE})"
+    )
+    assert pathfind_speedup >= 3.0, (
+        f"the wavefront path search is only {pathfind_speedup:.1f}x the "
+        f"scalar BFS ({renorm_ms:.3f} ms vs {scalar_ms:.3f} ms per "
+        f"renormalize at size {RSL_SIZE})"
     )

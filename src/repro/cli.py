@@ -39,6 +39,7 @@ from repro.errors import CompilationError, ReproError
 from repro.experiments.common import SCALES
 from repro.experiments.runners import RUNNERS, make_runner
 from repro.experiments.streams import CsvStreamWriter, make_stream_writer
+from repro.online.renormalize import PATHFINDS
 from repro.pipeline import Pipeline, PipelineSettings, make_cache
 from repro.pipeline.cache import CACHE_KINDS, cache_summary
 
@@ -52,6 +53,13 @@ def _add_common_compile_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--rsl-size", type=int, default=None)
     parser.add_argument("--virtual-size", type=int, default=None)
     parser.add_argument("--max-rsl", type=int, default=10**6)
+    parser.add_argument(
+        "--pathfind",
+        default="vector",
+        choices=list(PATHFINDS),
+        help="renormalization path-search implementation (results are "
+        "byte-identical; 'scalar' is the slow parity oracle)",
+    )
     parser.add_argument(
         "--json",
         action="store_true",
@@ -102,6 +110,7 @@ def _build_pipeline(args: argparse.Namespace) -> Pipeline:
         rsl_size=args.rsl_size,
         virtual_size=args.virtual_size,
         max_rsl=args.max_rsl,
+        pathfind=args.pathfind,
     )
     return Pipeline(settings, seed=args.seed, cache=_cache_from(args))
 
@@ -195,7 +204,9 @@ def _run_streamed(experiment, args: argparse.Namespace, runner) -> ExperimentRes
     writer = make_stream_writer(args.out) if args.out else None
     records = []
     try:
-        stream = experiment.iter_records(args.scale, seed=args.seed, runner=runner)
+        stream = experiment.iter_records(
+            args.scale, seed=args.seed, runner=runner, pathfind=args.pathfind
+        )
         for record in stream:
             records.append(record)
             if writer is not None:
@@ -267,7 +278,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     if args.stream:
         result = _run_streamed(experiment, args, runner)
     else:
-        result = experiment.run(args.scale, seed=args.seed, runner=runner)
+        result = experiment.run(
+            args.scale, seed=args.seed, runner=runner, pathfind=args.pathfind
+        )
     if args.out and not args.stream:
         if args.out.lower().endswith(".csv"):
             artifact = result.to_csv()
@@ -338,6 +351,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment_parser.add_argument("--scale", default="bench", choices=list(SCALES))
     experiment_parser.add_argument("--seed", type=int, default=0)
+    experiment_parser.add_argument(
+        "--pathfind",
+        default=None,
+        choices=list(PATHFINDS),
+        help="force one renormalization path-search implementation on every "
+        "job (records are byte-identical; 'scalar' is the parity oracle)",
+    )
     experiment_parser.add_argument(
         "--runner",
         default="serial",

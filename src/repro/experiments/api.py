@@ -323,11 +323,18 @@ class Experiment(ABC):
         scale: str = "bench",
         seed: int = 0,
         runner: "Runner | str | None" = None,
+        pathfind: str | None = None,
     ) -> ExperimentResult:
-        """Build jobs, execute them on ``runner``, reduce the records."""
+        """Build jobs, execute them on ``runner``, reduce the records.
+
+        ``pathfind`` (when given) rewrites every job to the named
+        renormalization path-search implementation — see
+        :func:`override_pathfind`.  Records are byte-identical either way;
+        the knob exists for parity audits and benchmarking.
+        """
         self._check_scale(scale)
         runner = _resolve_runner(runner)
-        jobs = self.build_jobs(scale, seed)
+        jobs = override_pathfind(self.build_jobs(scale, seed), pathfind)
         records = runner.run_jobs(jobs, experiment=self.name, scale=scale, seed=seed)
         result = self.reduce(records)
         result.runner = runner.name
@@ -338,6 +345,7 @@ class Experiment(ABC):
         scale: str = "bench",
         seed: int = 0,
         runner: "Runner | str | None" = None,
+        pathfind: str | None = None,
     ) -> Iterator[ExperimentRecord]:
         """Stream records in canonical job order as execution completes.
 
@@ -352,8 +360,44 @@ class Experiment(ABC):
         """
         self._check_scale(scale)
         runner = _resolve_runner(runner)
-        jobs = self.build_jobs(scale, seed)
+        jobs = override_pathfind(self.build_jobs(scale, seed), pathfind)
         return runner.iter_jobs(jobs, experiment=self.name, scale=scale, seed=seed)
+
+
+def override_pathfind(jobs: list[Job], pathfind: str | None) -> list[Job]:
+    """Rewrite a job list to force one renormalization path-search impl.
+
+    ``None`` means "leave the experiment's defaults alone" and returns the
+    list unchanged.  Compile jobs get their frozen settings replaced;
+    function jobs are updated only when the target function actually
+    accepts a ``pathfind`` keyword (signature-checked), so helpers that
+    never touch the renormalizer pass through untouched.  Because results
+    are byte-identical across implementations, this is an execution knob,
+    not a sweep axis — job keys and record fields stay the same.
+    """
+    if pathfind is None:
+        return jobs
+    from repro.online.renormalize import PATHFINDS
+
+    if pathfind not in PATHFINDS:
+        raise ReproError(
+            f"unknown pathfind {pathfind!r}; use one of: {', '.join(PATHFINDS)}"
+        )
+    import dataclasses
+    import inspect
+
+    rewritten: list[Job] = []
+    for job in jobs:
+        if isinstance(job, CompileJob):
+            settings = dataclasses.replace(job.settings, pathfind=pathfind)
+            rewritten.append(dataclasses.replace(job, settings=settings))
+        elif isinstance(job, FnJob) and "pathfind" in inspect.signature(job.fn).parameters:
+            rewritten.append(
+                dataclasses.replace(job, kwargs={**job.kwargs, "pathfind": pathfind})
+            )
+        else:
+            rewritten.append(job)
+    return rewritten
 
 
 def _resolve_runner(runner: "Runner | str | None"):
@@ -416,6 +460,9 @@ def run_experiment(
     scale: str = "bench",
     seed: int = 0,
     runner: "Runner | str | None" = None,
+    pathfind: str | None = None,
 ) -> ExperimentResult:
     """One-call entry point: ``run_experiment("fig14", "bench")``."""
-    return get_experiment(name).run(scale=scale, seed=seed, runner=runner)
+    return get_experiment(name).run(
+        scale=scale, seed=seed, runner=runner, pathfind=pathfind
+    )

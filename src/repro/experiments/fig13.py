@@ -64,6 +64,7 @@ def suitable_node_size(
     trials: int,
     rng,
     threshold: float = SUITABLE_SUCCESS,
+    pathfind: str = "vector",
 ) -> int:
     """Smallest node side whose renormalization success rate >= threshold.
 
@@ -75,7 +76,9 @@ def suitable_node_size(
         if target < 1:
             break
         hits = sum(
-            renormalize(sample_lattice(rsl_size, rate, rng), target).success
+            renormalize(
+                sample_lattice(rsl_size, rate, rng), target, pathfind=pathfind
+            ).success
             for _ in range(trials)
         )
         if hits / trials >= threshold:
@@ -84,11 +87,13 @@ def suitable_node_size(
 
 
 def suitable_node_size_case(
-    rsl_size: int, rate: float, trials: int, seed: int
+    rsl_size: int, rate: float, trials: int, seed: int, pathfind: str = "vector"
 ) -> dict[str, Any]:
     """One Fig. 13(a) point, on its own derived stream."""
     rng = stream_for("fig13", seed).child("a", rsl_size, rate).generator
-    return {"node_side": suitable_node_size(rsl_size, rate, trials, rng)}
+    return {
+        "node_side": suitable_node_size(rsl_size, rate, trials, rng, pathfind=pathfind)
+    }
 
 
 def _averaged(fn, rsl: int, rate: float, trials: int, rng) -> tuple[float, float]:
@@ -112,11 +117,20 @@ def _modular_stats(outcome) -> tuple[int, int]:
 
 
 def _modular_means(
-    rsl: int, node: int, modules: int, mi_ratio: float, rate: float, trials: int, seed: int
+    rsl: int,
+    node: int,
+    modules: int,
+    mi_ratio: float,
+    rate: float,
+    trials: int,
+    seed: int,
+    pathfind: str = "vector",
 ) -> tuple[float, float]:
     rng = stream_for("fig13", seed).child("c", "modular", modules, mi_ratio).generator
     return _averaged(
-        lambda lat: _modular_stats(modular_renormalize(lat, node, modules, mi_ratio)),
+        lambda lat: _modular_stats(
+            modular_renormalize(lat, node, modules, mi_ratio, pathfind=pathfind)
+        ),
         rsl,
         rate,
         trials,
@@ -124,10 +138,12 @@ def _modular_means(
     )
 
 
-def panel_c_unlimited(rsl: int, node: int, rate: float, trials: int, seed: int):
+def panel_c_unlimited(
+    rsl: int, node: int, rate: float, trials: int, seed: int, pathfind: str = "vector"
+):
     rng = stream_for("fig13", seed).child("c", "unlimited").generator
     nodes_mean, wall = _averaged(
-        lambda lat: _renorm_stats(renormalize(lat, rsl // node)),
+        lambda lat: _renorm_stats(renormalize(lat, rsl // node, pathfind=pathfind)),
         rsl,
         rate,
         trials,
@@ -137,9 +153,18 @@ def panel_c_unlimited(rsl: int, node: int, rate: float, trials: int, seed: int):
 
 
 def panel_c_modular(
-    rsl: int, node: int, modules: int, mi_ratio: float, rate: float, trials: int, seed: int
+    rsl: int,
+    node: int,
+    modules: int,
+    mi_ratio: float,
+    rate: float,
+    trials: int,
+    seed: int,
+    pathfind: str = "vector",
 ):
-    nodes_mean, wall = _modular_means(rsl, node, modules, mi_ratio, rate, trials, seed)
+    nodes_mean, wall = _modular_means(
+        rsl, node, modules, mi_ratio, rate, trials, seed, pathfind=pathfind
+    )
     return {
         "setting": f"modules={modules} MI={mi_ratio}",
         "nodes_mean": nodes_mean,
@@ -147,7 +172,9 @@ def panel_c_modular(
     }
 
 
-def panel_c_restricted(rsl: int, node: int, rate: float, trials: int, seed: int):
+def panel_c_restricted(
+    rsl: int, node: int, rate: float, trials: int, seed: int, pathfind: str = "vector"
+):
     """Time-restricted non-modular: same wall budget as the 4-module MI=7 run.
 
     The budget is recomputed here on the *same derived stream* as that
@@ -155,11 +182,13 @@ def panel_c_restricted(rsl: int, node: int, rate: float, trials: int, seed: int)
     while using the identical budget value on every runner backend.
     """
     _nodes, budget = _modular_means(
-        rsl, node, BUDGET_MODULES, BUDGET_MI, rate, trials, seed
+        rsl, node, BUDGET_MODULES, BUDGET_MI, rate, trials, seed, pathfind=pathfind
     )
     rng = stream_for("fig13", seed).child("c", "restricted").generator
     nodes_mean, wall = _averaged(
-        lambda lat: _renorm_stats(renormalize(lat, rsl // node, work_budget=int(budget))),
+        lambda lat: _renorm_stats(
+            renormalize(lat, rsl // node, work_budget=int(budget), pathfind=pathfind)
+        ),
         rsl,
         rate,
         trials,

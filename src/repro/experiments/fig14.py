@@ -43,7 +43,14 @@ SCALE_14B = {
 
 
 def online_attempts(
-    rsl: int, node: int, modules: int, mi_ratio: float, rate: float, trials: int, seed: int
+    rsl: int,
+    node: int,
+    modules: int,
+    mi_ratio: float,
+    rate: float,
+    trials: int,
+    seed: int,
+    pathfind: str = "vector",
 ) -> tuple[dict[str, Any], dict[str, float]]:
     """One Fig. 14(b) point: timed renormalization attempts on fresh RSLs.
 
@@ -60,11 +67,13 @@ def online_attempts(
         lattice = sample_lattice(rsl, rate, rng)
         start = time.perf_counter()
         if modules == 1:
-            outcome = renormalize(lattice, max(1, rsl // node))
+            outcome = renormalize(lattice, max(1, rsl // node), pathfind=pathfind)
             wall_visited += outcome.visited_sites
             total_visited += outcome.visited_sites
         else:
-            outcome = modular_renormalize(lattice, node, modules, mi_ratio)
+            outcome = modular_renormalize(
+                lattice, node, modules, mi_ratio, pathfind=pathfind
+            )
             wall_visited += outcome.wall_visited_sites
             total_visited += outcome.total_visited_sites
         seconds += time.perf_counter() - start

@@ -150,13 +150,16 @@ def modular_renormalize(
     node_size: int,
     num_modules: int,
     mi_ratio: float,
+    pathfind: str = "vector",
 ) -> ModularResult:
     """Renormalize ``lattice`` module-by-module and join across intervals.
 
     ``node_size`` is the average-node side (each module targets
     ``module_size // node_size`` coarse nodes per axis).  The joined lattice
     keeps a global row (column) only if every module on it succeeded and all
-    its ``g - 1`` corridor joins connected.
+    its ``g - 1`` corridor joins connected.  ``pathfind`` forwards to
+    :func:`~repro.online.renormalize.renormalize` per module; the small
+    corridor-join BFS stays scalar (it is nowhere near the hot path).
     """
     layout = ModularLayout.fit(lattice.size, num_modules, mi_ratio)
     g = layout.modules_per_side
@@ -169,7 +172,7 @@ def modular_renormalize(
         row_results = []
         for mj in range(g):
             sub = _module_lattice(lattice, layout, mi, mj)
-            result = renormalize(sub, per_module_target)
+            result = renormalize(sub, per_module_target, pathfind=pathfind)
             row_results.append(result)
             total_work += result.visited_sites
             max_module_work = max(max_module_work, result.visited_sites)

@@ -35,6 +35,158 @@ from repro.utils.rng import ensure_rng
 #: Label value marking dead sites in a component label grid.
 DEAD_LABEL = -1
 
+#: Null-predecessor marker in a :func:`frontier_bfs` predecessor array
+#: (the same sentinel scipy.sparse.csgraph uses, so the two engines are
+#: drop-in interchangeable).
+NO_PREDECESSOR = -9999
+
+#: Lazily resolved compiled BFS engine: ``(csr_array, breadth_first_order)``
+#: from scipy.sparse, or ``False`` once the import is known to fail.
+_FRONTIER_ENGINE: tuple | bool | None = None
+
+
+def _frontier_engine() -> tuple | None:
+    """The compiled frontier engine (scipy.sparse.csgraph), if importable.
+
+    scipy is an optional accelerator, never a requirement: every caller has
+    a numpy/pure-python fallback with identical answers, and the resolution
+    is cached so the import cost is paid at most once per process.
+    """
+    global _FRONTIER_ENGINE
+    if _FRONTIER_ENGINE is None:
+        try:
+            from scipy.sparse import csr_array
+            from scipy.sparse.csgraph import breadth_first_order
+
+            _FRONTIER_ENGINE = (csr_array, breadth_first_order)
+        except ImportError:  # pragma: no cover - exercised via monkeypatch
+            _FRONTIER_ENGINE = False
+    return _FRONTIER_ENGINE or None
+
+
+def frontier_adjacency(
+    sources: np.ndarray, targets: np.ndarray, node_count: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR adjacency ``(indptr, indices)`` from directed edge lists.
+
+    The stable sort keeps each node's out-edges in the order they appear in
+    ``sources``/``targets`` — that order is the tie-break contract of
+    :func:`frontier_bfs`, which is how the renormalization path search
+    encodes the scalar BFS's deterministic move order into the graph.
+    """
+    order = np.argsort(sources, kind="stable")
+    indices = targets[order].astype(np.int32, copy=False)
+    indptr = np.zeros(node_count + 1, dtype=np.int32)
+    np.cumsum(np.bincount(sources, minlength=node_count), out=indptr[1:])
+    return indptr, indices
+
+
+def _frontier_bfs_python(
+    indptr: np.ndarray, indices: np.ndarray, source: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pure-python twin of scipy's ``breadth_first_order``.
+
+    Bit-for-bit the same contract: FIFO pops, per-node edges walked in CSR
+    storage order, the first discoverer becoming the predecessor.  Kept as
+    the no-scipy fallback and as the reference the engine-parity test pins
+    scipy's (undocumented but load-bearing) tie-break behaviour against.
+    """
+    node_count = indptr.shape[0] - 1
+    predecessors = np.full(node_count, NO_PREDECESSOR, dtype=np.int32)
+    indptr_list = indptr.tolist()
+    indices_list = indices.tolist()
+    seen = bytearray(node_count)
+    seen[source] = 1
+    order = [source]
+    head = 0
+    while head < len(order):
+        node = order[head]
+        head += 1
+        for neighbor in indices_list[indptr_list[node] : indptr_list[node + 1]]:
+            if not seen[neighbor]:
+                seen[neighbor] = 1
+                predecessors[neighbor] = node
+                order.append(neighbor)
+    return np.array(order, dtype=np.int32), predecessors
+
+
+def frontier_bfs(
+    indptr: np.ndarray, indices: np.ndarray, source: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Breadth-first wavefront over a CSR graph: pop order + predecessors.
+
+    Pops are FIFO and each popped node's out-edges are walked in CSR
+    storage order, the first discoverer of a node becoming its predecessor
+    — exactly the semantics of a scalar ``deque`` BFS, which is what lets
+    the vectorized renormalization path search reproduce the scalar
+    oracle's paths and visited-site counts byte-for-byte.  Runs on scipy's
+    compiled ``breadth_first_order`` when available, else on the identical
+    pure-python loop.
+    """
+    engine = _frontier_engine()
+    if engine is None:
+        return _frontier_bfs_python(indptr, indices, source)
+    csr_array, breadth_first_order = engine
+    node_count = indptr.shape[0] - 1
+    graph = csr_array(
+        (np.ones(indices.shape[0], dtype=np.float64), indices, indptr),
+        shape=(node_count, node_count),
+    )
+    return breadth_first_order(graph, source, directed=True, return_predecessors=True)
+
+
+def grid_spans(
+    alive: np.ndarray, horizontal: np.ndarray, vertical: np.ndarray
+) -> bool:
+    """Do the first and last rows of a rectangular bond grid touch at all?
+
+    Shapes follow :func:`label_grid_components` (``alive`` is ``(R, C)``,
+    ``horizontal`` bonds along axis 1, ``vertical`` along axis 0).  This is
+    the relaxed spanning question behind the renormalization strip
+    pre-check; see :func:`grid_spans_from_usable` for the engine.
+    """
+    usable_across = horizontal & alive[:, :-1] & alive[:, 1:]
+    usable_down = vertical & alive[:-1, :] & alive[1:, :]
+    return grid_spans_from_usable(alive, usable_across, usable_down)
+
+
+def grid_spans_from_usable(
+    alive: np.ndarray, usable_across: np.ndarray, usable_down: np.ndarray
+) -> bool:
+    """:func:`grid_spans` on pre-masked bonds (both endpoints known alive).
+
+    The split exists so the vectorized path search can hand over the very
+    masks it is about to expand the wavefront with — a positive pre-check
+    then seeds the search instead of being recomputed from scratch.  With
+    scipy present the answer is one compiled BFS from a virtual source
+    hooked to the first row; otherwise it falls back to the same label
+    propagation that powers ``PercolatedLattice.components()``.
+    """
+    if alive.size == 0 or not alive.any():
+        return False
+    rows, cols = alive.shape
+    if _frontier_engine() is None:
+        labels = label_grid_components(alive, usable_across, usable_down)
+        first = labels[0]
+        last = labels[-1]
+        first_roots = np.unique(first[first != DEAD_LABEL])
+        last_roots = np.unique(last[last != DEAD_LABEL])
+        if not first_roots.size or not last_roots.size:
+            return False
+        return bool(np.intersect1d(first_roots, last_roots, assume_unique=True).size)
+    total = rows * cols
+    flat = np.arange(total, dtype=np.int64).reshape(rows, cols)
+    across = flat[:, :-1][usable_across]
+    down = flat[:-1, :][usable_down]
+    starts = flat[0][alive[0]]
+    sources = np.concatenate(
+        [across, across + 1, down, down + cols, np.full(starts.size, total, np.int64)]
+    )
+    targets = np.concatenate([across + 1, across, down + cols, down, starts])
+    indptr, indices = frontier_adjacency(sources, targets, total + 1)
+    order, _ = frontier_bfs(indptr, indices, total)
+    return bool((order // cols == rows - 1).any())
+
 
 def label_grid_components(
     alive: np.ndarray, horizontal: np.ndarray, vertical: np.ndarray

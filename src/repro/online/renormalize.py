@@ -34,7 +34,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import RenormalizationError
-from repro.online.percolation import DEAD_LABEL, PercolatedLattice, label_grid_components
+from repro.online.percolation import (
+    PercolatedLattice,
+    frontier_adjacency,
+    frontier_bfs,
+    grid_spans,
+    grid_spans_from_usable,
+)
 from repro.utils.gridgeom import Coord2D
 
 #: Marker values for the orientation ownership grid.
@@ -43,6 +49,32 @@ _FREE, _VERTICAL, _HORIZONTAL, _DEAD = 0, 1, 2, 3
 #: Pre-check implementations accepted by :func:`renormalize` (the vectorized
 #: label propagation is the hot path; the scalar union-find is the oracle).
 PRECHECKS = ("vector", "dsu")
+
+#: Path-search implementations accepted by :func:`renormalize` (the numpy
+#: wavefront search is the hot path; the scalar deque BFS is the oracle).
+PATHFINDS = ("vector", "scalar")
+
+
+def _strip_arrays(
+    lattice: PercolatedLattice, vertical: bool, low: int, high: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Strip-view arrays with axis 0 along the spanning direction.
+
+    Returns ``(alive, across, along)``: the ``(n, w)`` liveness view, the
+    ``(n, w-1)`` bonds across the strip width, and the ``(n-1, w)`` bonds
+    along the spanning axis.  Row bands are transposed so both orientations
+    share one top-to-bottom geometry — the convention of both
+    :func:`strip_spans` and the vectorized path search.
+    """
+    if vertical:
+        alive = lattice.sites[:, low:high]
+        across = lattice.horizontal[:, low : max(low, high - 1)]
+        along = lattice.vertical[:, low:high]
+    else:
+        alive = lattice.sites[low:high, :].T
+        across = lattice.vertical[low : max(low, high - 1), :].T
+        along = lattice.horizontal[low:high, :].T
+    return alive, across, along
 
 
 def strip_spans(
@@ -53,29 +85,16 @@ def strip_spans(
     Runs on the relaxed graph that ignores crossing constraints, so a
     negative answer is definitive while a positive one still needs BFS.
     The strip subgrid is handed (transposed for row bands, so the spanning
-    axis is always rows) to the same numpy label propagation that powers
-    ``PercolatedLattice.components()``, then the edge-row label sets are
-    intersected — negative checks dominate near threshold, which is what
+    axis is always rows) to :func:`~repro.online.percolation.grid_spans` —
+    the same frontier engine the vectorized path search expands with, and
+    the same one that powers ``PercolatedLattice.components()`` when scipy
+    is absent.  Negative checks dominate near threshold, which is what
     makes this the renormalization hot path worth vectorizing.
     """
-    if vertical:
-        alive = lattice.sites[:, low:high]
-        across = lattice.horizontal[:, low : max(low, high - 1)]
-        along = lattice.vertical[:, low:high]
-    else:
-        alive = lattice.sites[low:high, :].T
-        across = lattice.vertical[low : max(low, high - 1), :].T
-        along = lattice.horizontal[low:high, :].T
+    alive, across, along = _strip_arrays(lattice, vertical, low, high)
     if alive.size == 0:
         return False
-    labels = label_grid_components(alive, across, along)
-    first = labels[0]
-    last = labels[-1]
-    first_roots = np.unique(first[first != DEAD_LABEL])
-    last_roots = np.unique(last[last != DEAD_LABEL])
-    if not first_roots.size or not last_roots.size:
-        return False
-    return bool(np.intersect1d(first_roots, last_roots, assume_unique=True).size)
+    return grid_spans(alive, across, along)
 
 
 def strip_spans_dsu(
@@ -162,13 +181,45 @@ class RenormalizationResult:
         return rsl / max(1, self.lattice_size)
 
 
+#: Scalar BFS move order, rewritten as (d_span, d_lane) steps in the strip
+#: view of :func:`_strip_arrays`.  The scalar generator walks grid moves
+#: ((-1,0),(1,0),(0,-1),(0,1)); for row bands the view is transposed, so the
+#: view-space order swaps — preserving this order is what keeps the
+#: vectorized search's tie-breaks byte-identical to the deque BFS.
+_VIEW_MOVES = {
+    True: ((-1, 0), (1, 0), (0, -1), (0, 1)),
+    False: ((0, -1), (0, 1), (-1, 0), (1, 0)),
+}
+
+
+def _shift(array: np.ndarray, d_span: int, d_lane: int) -> np.ndarray:
+    """``array`` sampled at ``cell + d``, indexed at ``cell`` (OOB -> False)."""
+    rows, cols = array.shape
+    out = np.zeros((rows, cols), dtype=bool)
+    r_lo, r_hi = max(d_span, 0), rows + min(d_span, 0)
+    c_lo, c_hi = max(d_lane, 0), cols + min(d_lane, 0)
+    out[r_lo - d_span : r_hi - d_span, c_lo - d_lane : c_hi - d_lane] = array[
+        r_lo:r_hi, c_lo:c_hi
+    ]
+    return out
+
+
 class _Carver:
     """Stateful path search over one percolated lattice."""
 
-    def __init__(self, lattice: PercolatedLattice, precheck: str = "vector") -> None:
+    def __init__(
+        self,
+        lattice: PercolatedLattice,
+        precheck: str = "vector",
+        pathfind: str = "vector",
+    ) -> None:
         if precheck not in _PRECHECK_FNS:
             raise RenormalizationError(
                 f"unknown precheck {precheck!r}; use one of: {', '.join(PRECHECKS)}"
+            )
+        if pathfind not in PATHFINDS:
+            raise RenormalizationError(
+                f"unknown pathfind {pathfind!r}; use one of: {', '.join(PATHFINDS)}"
             )
         self.lattice = lattice
         self.size = lattice.size
@@ -176,6 +227,8 @@ class _Carver:
         self.owner[~lattice.sites] = _DEAD
         self.visited_sites = 0
         self._precheck = _PRECHECK_FNS[precheck]
+        self._precheck_name = precheck
+        self._pathfind_name = pathfind
 
     # -- generic helpers --------------------------------------------------
 
@@ -221,8 +274,19 @@ class _Carver:
         A vertical path may step on horizontal-path sites only by crossing
         them straight through (and vice versa); it may never travel along
         them, which is the tangling the surround-removal of the paper
-        prevents.
+        prevents.  Dispatches to the configured implementation — the numpy
+        wavefront search (``pathfind="vector"``) or the original deque BFS
+        (``"scalar"``); the two produce byte-identical paths, ownership,
+        and visited-site accounting.
         """
+        if self._pathfind_name == "vector":
+            return self._find_path_vector(vertical, index, count)
+        return self._find_path_scalar(vertical, index, count)
+
+    def _find_path_scalar(
+        self, vertical: bool, index: int, count: int
+    ) -> list[Coord2D] | None:
+        """The original per-cell deque BFS — kept as the parity oracle."""
         low, high = self._strip_range(index, count)
         if high - low < 1:
             raise RenormalizationError("strip is empty; target size too large")
@@ -328,6 +392,174 @@ class _Carver:
         path.reverse()
         return path
 
+    def _find_path_vector(
+        self, vertical: bool, index: int, count: int
+    ) -> list[Coord2D] | None:
+        """Numpy wavefront search — byte-identical to the scalar deque BFS.
+
+        The whole strip is compiled into one CSR frontier graph whose
+        per-node edge order encodes the scalar BFS's deterministic
+        tie-breaks (enqueue order within a level is lexicographic in
+        (parent pop order, move index)), then a single compiled breadth-
+        first traversal (:func:`~repro.online.percolation.frontier_bfs`)
+        replaces the per-cell Python loop.  Ownership semantics — one-hop
+        moves onto free sites, far-edge crossings ending on perpendicular-
+        owned sites, and two-hop straight-through crossings — become shifted
+        boolean masks over the ``owner`` view; a virtual super-source node
+        carries the near-edge start cells in lane order.  The strip
+        pre-check runs on the very same usable-bond masks, so a positive
+        check seeds the wavefront instead of being thrown away.
+        """
+        low, high = self._strip_range(index, count)
+        if high - low < 1:
+            raise RenormalizationError("strip is empty; target size too large")
+        n = self.size
+        width = high - low
+        alive, bonds_across, bonds_along = _strip_arrays(
+            self.lattice, vertical, low, high
+        )
+        owner = self.owner[:, low:high] if vertical else self.owner[low:high, :].T
+
+        # Pre-check on the shared strip views.  The cost proxy charges the
+        # full strip area exactly as _strip_connected does, and a negative
+        # answer gates the search identically — only the positive case
+        # changes, reusing the masks the wavefront is about to expand with.
+        self.visited_sites += n * width
+        usable_along = bonds_along & alive[:-1, :] & alive[1:, :]
+        usable_across = bonds_across & alive[:, :-1] & alive[:, 1:]
+        if self._precheck_name == "vector":
+            if not grid_spans_from_usable(alive, usable_across, usable_along):
+                return None
+        elif not strip_spans_dsu(self.lattice, vertical, low, high):
+            return None
+
+        other_owner = _HORIZONTAL if vertical else _VERTICAL
+        free = owner == _FREE
+        other = owner == other_owner
+
+        def to_grid(flat_index: int) -> Coord2D:
+            span, lane = divmod(flat_index, width)
+            return (span, low + lane) if vertical else (low + lane, span)
+
+        if n == 1:
+            # Degenerate 1-wide lattice: the first perpendicular-owned lane
+            # spans it outright (before any BFS pop); otherwise the first
+            # free lane is popped once and immediately found to be the goal.
+            owned_lanes = np.flatnonzero(other[0])
+            if owned_lanes.size:
+                return [to_grid(int(owned_lanes[0]))]
+            free_lanes = np.flatnonzero(free[0])
+            if free_lanes.size:
+                self.visited_sites += 1
+                return [to_grid(int(free_lanes[0]))]
+            return None
+
+        goal_row = n - 1
+        total = n * width
+        flat = np.arange(total, dtype=np.int64).reshape(n, width)
+
+        def bond_step(d_span: int, d_lane: int) -> np.ndarray:
+            """(n, w) mask over sources: usable bond from cell to cell + d."""
+            mask = np.zeros((n, width), dtype=bool)
+            if d_span == -1:
+                mask[1:, :] = usable_along
+            elif d_span == 1:
+                mask[:-1, :] = usable_along
+            elif d_lane == -1:
+                mask[:, 1:] = usable_across
+            else:
+                mask[:, :-1] = usable_across
+            return mask
+
+        sources: list[np.ndarray] = []
+        targets: list[np.ndarray] = []
+        for d_span, d_lane in _VIEW_MOVES[vertical]:
+            bonded = bond_step(d_span, d_lane)
+            can = free & bonded
+            d_flat = d_span * width + d_lane
+            # One hop onto a free site.
+            one = can & _shift(free, d_span, d_lane)
+            hop = flat[one]
+            sources.append(hop)
+            targets.append(hop + d_flat)
+            step_other = can & _shift(other, d_span, d_lane)
+            # Crossing right at the far edge: the perpendicular path's site
+            # serves as the endpoint (only reachable stepping down from
+            # goal_row - 1 or sideways along goal_row).
+            if d_span == 1:
+                edge = flat[goal_row - 1][step_other[goal_row - 1]]
+                sources.append(edge)
+                targets.append(edge + width)
+            elif d_span == 0:
+                edge = flat[goal_row][step_other[goal_row]]
+                sources.append(edge)
+                targets.append(edge + d_lane)
+            # Cross the perpendicular path straight through: stepped-on site
+            # owned and not at the goal row, a usable bond onward, and a
+            # free landing two cells out.
+            two = (
+                step_other
+                & _shift(bonded, d_span, d_lane)
+                & _shift(free, 2 * d_span, 2 * d_lane)
+            )
+            if d_span == 1:
+                two[goal_row - 1] = False
+            elif d_span == 0:
+                two[goal_row] = False
+            cross = flat[two]
+            sources.append(cross)
+            targets.append(cross + 2 * d_flat)
+
+        # Start cells on the near edge, in lane order, hung off a virtual
+        # super-source: free cells start normally; perpendicular-owned cells
+        # are entered one row inward (the owned cell rejoins the path as a
+        # reconstruction prefix).
+        lane_free = free[0]
+        lane_inward = other[0] & free[1] & usable_along[0]
+        start = np.where(lane_free, flat[0], np.where(lane_inward, flat[1], -1))
+        start = start[start >= 0]
+        crossing_entry = {
+            int(flat[1, lane]): int(flat[0, lane])
+            for lane in np.flatnonzero(lane_inward)
+        }
+        sources.append(np.full(start.size, total, dtype=np.int64))
+        targets.append(start)
+
+        indptr, indices = frontier_adjacency(
+            np.concatenate(sources), np.concatenate(targets), total + 1
+        )
+        pop_order, parents = frontier_bfs(indptr, indices, total)
+        hits = np.flatnonzero(pop_order // width == goal_row)
+        if not hits.size:
+            # Every enqueued cell was popped without reaching the far edge;
+            # the super-source itself (pop 0) costs nothing.
+            self.visited_sites += len(pop_order) - 1
+            return None
+        found = int(hits[0])
+        # Pops up to (and including) the goal: the goal's position in the
+        # FIFO order *is* the scalar BFS's visited count, super-source aside.
+        self.visited_sites += found
+
+        path: list[int] = []
+        node = int(pop_order[found])
+        while node != total:
+            path.append(node)
+            parent = int(parents[node])
+            if parent == total:
+                entry = crossing_entry.get(node)
+                if entry is not None:
+                    path.append(entry)
+            else:
+                # Two-hop edges differ by 2 on exactly one view axis; the
+                # skipped crossing site is their midpoint.
+                node_span, node_lane = divmod(node, width)
+                parent_span, parent_lane = divmod(parent, width)
+                if abs(node_span - parent_span) == 2 or abs(node_lane - parent_lane) == 2:
+                    path.append((node + parent) // 2)
+            node = parent
+        path.reverse()
+        return [to_grid(flat_index) for flat_index in path]
+
     def claim(self, path: list[Coord2D], vertical: bool) -> None:
         """Mark a found path's sites with their orientation ownership.
 
@@ -345,6 +577,7 @@ def renormalize(
     target_size: int,
     work_budget: int | None = None,
     precheck: str = "vector",
+    pathfind: str = "vector",
 ) -> RenormalizationResult:
     """Reshape ``lattice`` into a ``target_size x target_size`` coarse lattice.
 
@@ -359,9 +592,12 @@ def renormalize(
     returned as a failure.
 
     ``precheck`` selects the per-strip connectivity implementation:
-    ``"vector"`` (the numpy label-propagation hot path, the default) or
-    ``"dsu"`` (the scalar union-find oracle).  The two agree on every
-    lattice — the property suite asserts full-result identity — and the
+    ``"vector"`` (the numpy hot path, the default) or ``"dsu"`` (the scalar
+    union-find oracle).  ``pathfind`` likewise selects the path search:
+    ``"vector"`` (the compiled wavefront over a CSR frontier graph, the
+    default) or ``"scalar"`` (the original deque BFS oracle).  Every
+    combination agrees on every lattice — the property suite asserts
+    full-result identity across the ``pathfind x precheck`` sweep — and the
     visited-site accounting is implementation-independent, so swapping
     them never perturbs results or the Fig. 14 cost proxy.
     """
@@ -371,7 +607,7 @@ def renormalize(
         raise RenormalizationError(
             f"target {target_size} exceeds lattice size {lattice.size}"
         )
-    carver = _Carver(lattice, precheck=precheck)
+    carver = _Carver(lattice, precheck=precheck, pathfind=pathfind)
     vertical_paths: list[list[Coord2D]] = []
     horizontal_paths: list[list[Coord2D]] = []
 
@@ -428,13 +664,26 @@ def _intersections(
     vertical_paths: list[list[Coord2D]],
     horizontal_paths: list[list[Coord2D]],
 ) -> dict[tuple[int, int], Coord2D]:
-    """First shared site of each (vertical, horizontal) path pair."""
+    """First shared site of each (vertical, horizontal) path pair.
+
+    One ``coord -> v_index`` map over all vertical paths replaces the old
+    every-horizontal-against-every-vertical-set rescan, making this linear
+    in total path length instead of quadratic in the path count.  "First"
+    still means first along the horizontal path (vertical paths are
+    disjoint, so each site maps to at most one v_index), and the node dict
+    keeps the old (ascending ``v_index``) insertion order per ``h_index``.
+    """
     nodes: dict[tuple[int, int], Coord2D] = {}
-    vertical_sets = [set(path) for path in vertical_paths]
+    site_to_v: dict[Coord2D, int] = {}
+    for v_index, v_path in enumerate(vertical_paths):
+        for coord in v_path:
+            site_to_v.setdefault(coord, v_index)
     for h_index, h_path in enumerate(horizontal_paths):
-        for v_index, v_sites in enumerate(vertical_sets):
-            for coord in h_path:
-                if coord in v_sites:
-                    nodes[(v_index, h_index)] = coord
-                    break
+        found: dict[int, Coord2D] = {}
+        for coord in h_path:
+            v_index = site_to_v.get(coord)
+            if v_index is not None and v_index not in found:
+                found[v_index] = coord
+        for v_index in sorted(found):
+            nodes[(v_index, h_index)] = found[v_index]
     return nodes

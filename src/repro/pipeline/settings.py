@@ -56,6 +56,7 @@ class PipelineSettings:
     photon_loss_rate: float = 0.0
     max_rsl: int = DEFAULT_RSL_CAP
     emit_instructions: bool = False
+    pathfind: str = "vector"
 
     def hardware_for(self, num_qubits: int) -> tuple[HardwareConfig, int]:
         """Resolve the hardware config and virtual size for a program."""
@@ -86,5 +87,6 @@ class PipelineSettings:
                 "bytes_per_node_layer": self.bytes_per_node_layer,
                 "max_rsl": self.max_rsl,
                 "emit_instructions": self.emit_instructions,
+                "pathfind": self.pathfind,
             },
         )

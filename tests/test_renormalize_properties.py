@@ -1,11 +1,18 @@
-"""Property tests of the renormalization carving invariants, and the
-vectorized strip pre-check against its scalar DSU oracle."""
+"""Property tests of the renormalization carving invariants, the vectorized
+strip pre-check against its scalar DSU oracle, and the vectorized wavefront
+path search against the scalar deque-BFS oracle."""
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.online import renormalize, sample_lattice
-from repro.online.renormalize import strip_spans, strip_spans_dsu
+from repro.online import percolation, renormalize, sample_lattice
+from repro.online.renormalize import (
+    PATHFINDS,
+    PRECHECKS,
+    _intersections,
+    strip_spans,
+    strip_spans_dsu,
+)
 
 
 @st.composite
@@ -150,6 +157,138 @@ def test_full_renormalize_identical_for_either_precheck(case):
     assert fast.node_sites == slow.node_sites
     assert fast.vertical_paths == slow.vertical_paths
     assert fast.horizontal_paths == slow.horizontal_paths
+
+
+def _result_tuple(result):
+    """The full deterministic portion of a RenormalizationResult."""
+    return (
+        result.success,
+        result.target_size,
+        result.lattice_size,
+        result.visited_sites,
+        result.node_sites,
+        result.vertical_paths,
+        result.horizontal_paths,
+    )
+
+
+@st.composite
+def pathfind_cases(draw):
+    """Randomized lattices (with loss), targets, and work budgets.
+
+    Sizes start at 1 to cover the degenerate single-row/owned-lane start
+    branches; the optional budget exercises mid-carve truncation, whose
+    cut point depends on exact visited-site accounting.
+    """
+    size = draw(st.integers(1, 24))
+    target = draw(st.integers(1, size))
+    bond_probability = draw(st.sampled_from([0.5, 0.6, 0.72, 0.85, 1.0]))
+    loss = draw(st.sampled_from([0.0, 0.0, 0.05, 0.3]))
+    budget = draw(st.one_of(st.none(), st.integers(1, 4 * size * size)))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return size, target, bond_probability, loss, budget, seed
+
+
+@given(pathfind_cases())
+@settings(max_examples=50, deadline=None)
+def test_pathfind_precheck_sweep_full_result_identity(case):
+    """Every pathfind x precheck combination must agree on *everything*:
+    success, paths, node grid, visited-site count, and where a work budget
+    truncates the carve."""
+    size, target, bond_probability, loss, budget, seed = case
+    lattice = _lattice_with_loss(size, bond_probability, loss, seed)
+    reference = None
+    for pathfind in PATHFINDS:
+        for precheck in PRECHECKS:
+            result = renormalize(
+                lattice.copy(),
+                target,
+                work_budget=budget,
+                precheck=precheck,
+                pathfind=pathfind,
+            )
+            if reference is None:
+                reference = _result_tuple(result)
+            else:
+                assert _result_tuple(result) == reference, (pathfind, precheck)
+
+
+@given(pathfind_cases())
+@settings(max_examples=20, deadline=None)
+def test_pure_python_frontier_engine_is_identical(case):
+    """With scipy unavailable, the pure-python frontier fallback must
+    reproduce the compiled engine's results byte-for-byte."""
+    size, target, bond_probability, loss, budget, seed = case
+    lattice = _lattice_with_loss(size, bond_probability, loss, seed)
+    compiled = renormalize(lattice.copy(), target, work_budget=budget)
+    original = percolation._FRONTIER_ENGINE
+    percolation._FRONTIER_ENGINE = False  # simulate a missing scipy
+    try:
+        fallback = renormalize(lattice.copy(), target, work_budget=budget)
+    finally:
+        percolation._FRONTIER_ENGINE = original
+    assert _result_tuple(fallback) == _result_tuple(compiled)
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(1, 40), st.floats(0.0, 3.0))
+@settings(max_examples=40, deadline=None)
+def test_frontier_bfs_engines_agree_on_random_graphs(seed, nodes, degree):
+    """scipy's breadth_first_order and the pure-python twin must emit the
+    same pop order and the same first-discoverer predecessors — the
+    tie-break contract the path search's byte-identity rests on."""
+    rng = np.random.default_rng(seed)
+    edge_count = int(degree * nodes)
+    sources = rng.integers(0, nodes, edge_count)
+    targets = rng.integers(0, nodes, edge_count)
+    indptr, indices = percolation.frontier_adjacency(sources, targets, nodes)
+    source = int(rng.integers(0, nodes))
+    python_order, python_pred = percolation._frontier_bfs_python(
+        indptr, indices, source
+    )
+    order, pred = percolation.frontier_bfs(indptr, indices, source)
+    assert np.array_equal(order, python_order)
+    assert np.array_equal(pred, python_pred)
+
+
+def _intersections_quadratic(vertical_paths, horizontal_paths):
+    """The pre-optimization reference: rescan every horizontal path against
+    every vertical path's site set."""
+    nodes = {}
+    vertical_sets = [set(path) for path in vertical_paths]
+    for h_index, h_path in enumerate(horizontal_paths):
+        for v_index, v_sites in enumerate(vertical_sets):
+            for coord in h_path:
+                if coord in v_sites:
+                    nodes[(v_index, h_index)] = coord
+                    break
+    return nodes
+
+
+@given(carving_cases())
+@settings(max_examples=25, deadline=None)
+def test_intersections_map_matches_quadratic_reference(case):
+    """The coord->v_index intersection map must pin the exact node_sites of
+    the old quadratic scan — values *and* insertion order."""
+    size, target, probability, seed = case
+    lattice = sample_lattice(size, probability, rng=np.random.default_rng(seed))
+    result = renormalize(lattice, target)
+    expected = _intersections_quadratic(
+        result.vertical_paths, result.horizontal_paths
+    )
+    actual = _intersections(result.vertical_paths, result.horizontal_paths)
+    assert actual == expected
+    assert list(actual) == list(expected)
+
+
+def test_intersections_first_site_along_horizontal_path():
+    """"First shared site" means first along the *horizontal* path, even
+    when that path walks high-index verticals before low-index ones."""
+    v0 = [(0, 1), (1, 1), (2, 1)]
+    v1 = [(0, 3), (1, 3), (2, 3)]
+    h0 = [(1, 4), (1, 3), (1, 2), (1, 1)]  # meets v1 before v0
+    nodes = _intersections([v0, v1], [h0])
+    assert nodes == {(0, 0): (1, 1), (1, 0): (1, 3)}
+    assert list(nodes) == [(0, 0), (1, 0)]
 
 
 @given(carving_cases())
