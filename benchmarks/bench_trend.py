@@ -12,6 +12,10 @@ the script always exits 0 unless ``--strict`` is given (then a missing or
 unparsable snapshot fails).  Run it from anywhere inside the repo::
 
     python benchmarks/bench_trend.py [--against REF] [--strict]
+
+With ``--trace TRACE.jsonl`` the report also prints a per-pass wall/CPU
+breakdown from a telemetry trace (written by ``--trace-out``), so CI's
+smoke run surfaces where compile time actually went, not just the totals.
 """
 
 from __future__ import annotations
@@ -80,6 +84,37 @@ def render_trend(name: str, old: dict[str, float], new: dict[str, float]) -> lis
     return lines
 
 
+def render_trace_passes(path: Path) -> list[str]:
+    """Per-pass breakdown of a telemetry trace, trend-report style.
+
+    Imports the library lazily (with a ``src/`` path fallback) so the
+    plain trend diff stays runnable without any import at all; the
+    summarizer is the same one ``repro telemetry summarize`` uses, so the
+    two reports can never disagree on how spans are aggregated.
+    """
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.obs.summarize import load_trace, summarize_trace
+
+    summary = summarize_trace(load_trace(path))
+    lines = [f"== {path.name}: per-pass breakdown =="]
+    passes = summary["passes"]
+    width = max((len(name) for name in passes), default=4)
+    for name, row in sorted(
+        passes.items(), key=lambda item: -item[1]["wall_seconds"]
+    ):
+        mean_ms = row["wall_seconds"] / row["calls"] * 1e3 if row["calls"] else 0.0
+        lines.append(
+            f"  {name:<{width}}  calls {row['calls']:>4d}  "
+            f"wall {row['wall_seconds']:>8.4f} s  cpu {row['cpu_seconds']:>8.4f} s  "
+            f"mean {mean_ms:>7.2f} ms"
+        )
+    if summary["compiles"]:
+        lines.append(f"  compilations: {summary['compiles']}")
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -89,6 +124,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--strict", action="store_true",
         help="exit nonzero when a snapshot is missing or unreadable",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", type=Path,
+        help="telemetry trace (JSONL) to break down per pass",
     )
     args = parser.parse_args(argv)
 
@@ -115,6 +154,12 @@ def main(argv: list[str] | None = None) -> int:
                 )
             )
         )
+    if args.trace is not None:
+        try:
+            print("\n".join(render_trace_passes(args.trace)))
+        except Exception as exc:  # unreadable/invalid trace
+            print(f"== {args.trace} == no per-pass breakdown: {exc}", file=sys.stderr)
+            failures += 1
     return 1 if args.strict and failures else 0
 
 

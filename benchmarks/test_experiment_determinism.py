@@ -13,6 +13,7 @@ import pytest
 
 from golden_records import assert_matches_golden
 
+from repro import obs
 from repro.experiments import experiment_names, get_experiment, make_runner
 
 #: Worker counts per experiment — deliberately varied so the suite covers
@@ -63,3 +64,23 @@ def test_scalar_pathfind_matches_golden_on_every_runner(runner_kind):
     result = get_experiment("fig14").run("bench", 0, runner, pathfind="scalar")
     assert result.runner == runner_kind
     assert_matches_golden("fig14", result.records)
+
+
+@pytest.mark.parametrize("runner_kind", ["serial", "sharded"])
+def test_telemetry_session_leaves_golden_records_untouched(runner_kind):
+    """Telemetry is out-of-band: running under an active ``obs.session()``
+    — which turns on span collection in every pipeline, cache hit/miss
+    events, and cross-process telemetry merge for sharded children — must
+    leave the canonical records byte-identical to the golden snapshot.
+    fig14 again: compile jobs and FnJobs, so both record shapes are
+    covered, on the in-process serial path and the subprocess shard path."""
+    kwargs = {"shards": 2} if runner_kind == "sharded" else {}
+    runner = make_runner(runner_kind, **kwargs)
+    with obs.session() as tele:
+        result = get_experiment("fig14").run("bench", 0, runner)
+    assert result.runner == runner_kind
+    assert_matches_golden("fig14", result.records)
+    # The session actually observed the run — spans and counters exist —
+    # so the byte-equality above is a real on-vs-off comparison.
+    assert any(span["name"].startswith("run:") for span in tele.tracer.spans)
+    assert any(span["name"] == "compile" for span in tele.tracer.spans)

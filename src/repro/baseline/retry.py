@@ -38,6 +38,9 @@ class BaselineResult:
     #: Pipeline ``PassContext.metrics`` provenance (cache hit/miss counts,
     #: ...), attached by ``Pipeline.compile_baseline`` after the run.
     metrics: dict = field(default_factory=dict, compare=False, repr=False)
+    #: Telemetry spans from the compilation (out-of-band; attached by
+    #: ``Pipeline.compile_baseline`` when tracing, else empty).
+    spans: list = field(default_factory=list, compare=False, repr=False)
 
 
 def _geometric(rng, success_probability: float, cap: int) -> int:

@@ -14,6 +14,9 @@ Usage (also via ``python -m repro.cli``)::
     python -m repro.cli experiment --name table2 --cache disk --cache-dir .cache
     python -m repro.cli experiment --name table2 --runner sharded --shards 4 \\
         --cache-dir .cache --stream --out table2.jsonl
+    python -m repro.cli experiment --name fig14 --trace-out trace.jsonl \\
+        --events-out events.jsonl
+    python -m repro.cli telemetry summarize --trace trace.jsonl --events events.jsonl
     python -m repro.cli percolate --size 24 --rate 0.75 --node 8
 
 The ``experiment`` subcommand is a thin shell over the experiment registry
@@ -26,7 +29,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 
+from repro import obs
 from repro.circuits.benchmarks import BENCHMARKS, make_benchmark
 from repro.experiments.api import (
     EXPERIMENT_REGISTRY,
@@ -67,6 +72,7 @@ def _add_common_compile_args(parser: argparse.ArgumentParser) -> None:
         "instead of the human-readable report",
     )
     _add_cache_args(parser)
+    _add_telemetry_args(parser)
 
 
 def _add_cache_args(parser: argparse.ArgumentParser) -> None:
@@ -90,6 +96,52 @@ def _add_cache_args(parser: argparse.ArgumentParser) -> None:
         help="LRU eviction budget for the disk cache: least-recently-used "
         "entries are dropped once the store exceeds this many bytes",
     )
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a telemetry trace of the run (spans + metrics snapshot); "
+        "results are byte-identical with tracing on or off",
+    )
+    parser.add_argument(
+        "--trace-format",
+        default="jsonl",
+        choices=list(obs.TRACE_FORMATS),
+        help="trace file format: 'jsonl' (one span per line, for "
+        "'repro telemetry summarize') or 'chrome' (chrome://tracing JSON)",
+    )
+    parser.add_argument(
+        "--events-out",
+        metavar="FILE",
+        help="stream lifecycle events (job/shard/cache) to FILE as JSON "
+        "Lines, flushed per event",
+    )
+
+
+@contextmanager
+def _telemetry_session(args: argparse.Namespace):
+    """A telemetry session scoped to one command, when any output was asked.
+
+    Yields the session (or ``None`` when telemetry is off); on exit the
+    trace file is written in the requested format.  The events file is
+    streamed live by the session itself.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    events_out = getattr(args, "events_out", None)
+    if not trace_out and not events_out:
+        yield None
+        return
+    with obs.session(events_path=events_out) as tele:
+        try:
+            yield tele
+        finally:
+            if trace_out:
+                tele.write_trace(trace_out, fmt=args.trace_format)
+                print(f"wrote {trace_out}", file=sys.stderr)
+            if events_out:
+                print(f"wrote {events_out}", file=sys.stderr)
 
 
 def _cache_from(args: argparse.Namespace):
@@ -124,7 +176,10 @@ def _cache_counts(metrics: dict) -> dict:
 
 def cmd_compile(args: argparse.Namespace) -> int:
     circuit = make_benchmark(args.benchmark, args.qubits, seed=args.seed)
-    result = _build_pipeline(args).compile(circuit)
+    with _telemetry_session(args) as tele:
+        result = _build_pipeline(args).compile(circuit)
+        if tele is not None:
+            tele.adopt_compile(result, circuit=circuit.name)
     if args.json:
         print(
             json.dumps(
@@ -165,7 +220,10 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 def cmd_baseline(args: argparse.Namespace) -> int:
     circuit = make_benchmark(args.benchmark, args.qubits, seed=args.seed)
-    result = _build_pipeline(args).compile_baseline(circuit)
+    with _telemetry_session(args) as tele:
+        result = _build_pipeline(args).compile_baseline(circuit)
+        if tele is not None:
+            tele.adopt_compile(result, circuit=circuit.name)
     if args.json:
         print(
             json.dumps(
@@ -275,31 +333,68 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             "when the seconds columns are the point (Figs. 14-15)",
             file=sys.stderr,
         )
-    if args.stream:
-        result = _run_streamed(experiment, args, runner)
-    else:
-        result = experiment.run(
-            args.scale, seed=args.seed, runner=runner, pathfind=args.pathfind
-        )
+    with _telemetry_session(args):
+        if args.stream:
+            result = _run_streamed(experiment, args, runner)
+        else:
+            result = experiment.run(
+                args.scale, seed=args.seed, runner=runner, pathfind=args.pathfind
+            )
+    payload = result.to_json_obj()
+    if cache is not None:
+        # The cache object's own session totals: for the sharded runner
+        # these now include every shard's folded counts, so they reconcile
+        # with the record-derived "cache" block above.
+        payload["cache_session"] = cache.stats()
     if args.out and not args.stream:
         if args.out.lower().endswith(".csv"):
             artifact = result.to_csv()
         else:
-            artifact = json.dumps(result.to_json_obj(), indent=2) + "\n"
+            artifact = json.dumps(payload, indent=2) + "\n"
         with open(args.out, "w") as handle:
             handle.write(artifact)
         print(f"wrote {args.out}", file=sys.stderr)
     if args.json:
-        print(json.dumps(result.to_json_obj(), indent=2))
+        print(json.dumps(payload, indent=2))
     else:
         print(result.text)
         if cache is not None:
             stats = result.cache_stats()
+            session = cache.stats()
+            evictions = (
+                f", {session['evictions']} evictions"
+                if "evictions" in session
+                else ""
+            )
             print(
                 f"cache ({cache.name}): {stats['hits']} hits, "
-                f"{stats['misses']} misses, hit rate {stats['hit_rate']:.0%}",
+                f"{stats['misses']} misses, hit rate {stats['hit_rate']:.0%}"
+                f" (session: {session['hits']} hits, {session['misses']} "
+                f"misses{evictions})",
                 file=sys.stderr,
             )
+    return 0
+
+
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.obs.summarize import (
+        load_events,
+        load_trace,
+        render_summary,
+        summarize_trace,
+    )
+
+    try:
+        trace = load_trace(args.trace)
+        events = load_events(args.events) if args.events else None
+    except (OSError, ReproError) as exc:
+        print(f"telemetry: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize_trace(trace, events)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(render_summary(summary))
     return 0
 
 
@@ -398,7 +493,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="also export the records to FILE (.csv -> CSV, otherwise JSON)",
     )
     _add_cache_args(experiment_parser)
+    _add_telemetry_args(experiment_parser)
     experiment_parser.set_defaults(handler=cmd_experiment)
+
+    telemetry_parser = commands.add_parser(
+        "telemetry",
+        help="inspect trace/event files written by --trace-out/--events-out",
+    )
+    telemetry_commands = telemetry_parser.add_subparsers(
+        dest="telemetry_command", required=True
+    )
+    summarize_parser = telemetry_commands.add_parser(
+        "summarize",
+        help="per-pass wall/CPU time, per-shard jobs, and cache hit rate "
+        "from a JSONL trace",
+    )
+    summarize_parser.add_argument(
+        "--trace", required=True, metavar="FILE", help="JSONL trace file"
+    )
+    summarize_parser.add_argument(
+        "--events", metavar="FILE", help="JSONL events file (adds event counts)"
+    )
+    summarize_parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    summarize_parser.set_defaults(handler=cmd_telemetry)
 
     percolate_parser = commands.add_parser(
         "percolate", help="sample and renormalize one RSL"

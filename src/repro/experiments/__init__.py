@@ -41,6 +41,7 @@ from repro.experiments.runners import (
     Runner,
     SerialRunner,
     ShardedRunner,
+    ShardOutcome,
     ShardTask,
     ThreadRunner,
     make_runner,
@@ -69,6 +70,7 @@ __all__ = [
     "Runner",
     "SCALES",
     "SerialRunner",
+    "ShardOutcome",
     "ShardTask",
     "ShardedRunner",
     "ThreadRunner",

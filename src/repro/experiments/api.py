@@ -134,6 +134,11 @@ class ExperimentRecord:
     fields: dict[str, Any]
     timings: dict[str, float] = field(default_factory=dict)
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: Telemetry spans from the job's compilation, riding the record across
+    #: process boundaries for the consuming runner to adopt.  Out-of-band:
+    #: excluded from :meth:`canonical` *and* :meth:`flat`, so golden
+    #: records and CSV exports are byte-identical with tracing on or off.
+    spans: tuple = ()
 
     def canonical(self) -> dict[str, Any]:
         """The deterministic portion, as a plain JSON-ready dict."""

@@ -40,15 +40,17 @@ be used to *measure* single-job wall clock.
 from __future__ import annotations
 
 import hashlib
+import time
 from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     as_completed,
 )
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterator, Sequence
 
+from repro import obs
 from repro.circuits.benchmarks import make_benchmark
 from repro.errors import ReproError
 from repro.experiments.api import CompileJob, ExperimentRecord, FnJob, Job
@@ -91,6 +93,10 @@ class _ReorderBuffer:
         self._records: dict[int, ExperimentRecord] = {}
         self._next_index = 0
 
+    def __len__(self) -> int:
+        """Records waiting on an earlier index (the buffer's depth)."""
+        return len(self._records)
+
     def push(self, index: int, record: ExperimentRecord) -> None:
         self._records[index] = record
 
@@ -116,9 +122,19 @@ class Runner:
 
     name = "serial"
 
-    def __init__(self, max_workers: int | None = None, cache=None) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        cache=None,
+        telemetry: bool = False,
+    ) -> None:
         self.max_workers = max_workers
         self.cache = cache
+        # Explicit collection intent for contexts where no session can be
+        # seen (a sharded child process runs with ``telemetry=True`` under
+        # its own collect-only session); with a session active in *this*
+        # process, telemetry opts in automatically regardless.
+        self.telemetry = telemetry
 
     # -- the runner contract ------------------------------------------------
 
@@ -151,8 +167,59 @@ class Runner:
         so consumers always observe the exact ``run_jobs`` sequence — just
         incrementally.  The serial backend executes in input order and
         yields immediately.
+
+        With a telemetry session active, the stream is additionally
+        observed out-of-band: a ``run:<experiment>`` span brackets the
+        whole call, ``run_started``/``run_finished`` events mark its
+        lifecycle, and every record's spans and cache provenance are
+        adopted into the session as the record passes through.  Records
+        themselves are byte-identical either way.
         """
         jobs = list(jobs)
+        tele = obs.active()
+        if tele is None:
+            yield from self._iter_jobs(
+                jobs, experiment=experiment, scale=scale, seed=seed
+            )
+            return
+        tele.events.emit(
+            "run_started",
+            experiment=experiment,
+            scale=scale,
+            seed=seed,
+            runner=self.name,
+            jobs=len(jobs),
+        )
+        t0 = time.time()
+        wall0 = time.perf_counter()
+        yielded = 0
+        try:
+            for record in self._iter_jobs(
+                jobs, experiment=experiment, scale=scale, seed=seed
+            ):
+                self._adopt(tele, record)
+                yielded += 1
+                yield record
+        finally:
+            tele.tracer.add_span(
+                f"run:{experiment}",
+                ts=t0,
+                dur=time.perf_counter() - wall0,
+                attrs={"runner": self.name, "jobs": yielded},
+            )
+            tele.events.emit(
+                "run_finished", experiment=experiment, runner=self.name, jobs=yielded
+            )
+
+    def _iter_jobs(
+        self,
+        jobs: list[Job],
+        *,
+        experiment: str,
+        scale: str,
+        seed: int,
+    ) -> Iterator[ExperimentRecord]:
+        """The untraced execution core ``iter_jobs`` wraps."""
         pipelines = self._group_pipelines(jobs)
         with self._pool() as pool:
             if pool is None:
@@ -164,6 +231,16 @@ class Runner:
                     pool, jobs, pipelines, experiment=experiment, scale=scale,
                     seed=seed,
                 )
+
+    def _adopt(self, tele, record: ExperimentRecord) -> None:
+        """Fold one finished record's telemetry into the session.
+
+        The base rule: record metrics are *the* source of the session's
+        ``cache.*`` counters (they survive every pool boundary).  The
+        sharded runner overrides this — its children folded their own
+        records already and their registry snapshots merge wholesale.
+        """
+        tele.adopt_record(record)
 
     # -- shared halves ------------------------------------------------------
 
@@ -182,7 +259,9 @@ class Runner:
             if isinstance(job, CompileJob):
                 group = (job.settings, job.baseline)
                 if group not in pipelines:
-                    pipelines[group] = Pipeline(job.settings, cache=self.cache)
+                    pipelines[group] = Pipeline(
+                        job.settings, cache=self.cache, telemetry=self.telemetry
+                    )
         return pipelines
 
     def _iter_serial(
@@ -193,6 +272,7 @@ class Runner:
         # the single compilation path) against their group's shared
         # pipeline, so cache behavior matches the batched path exactly.
         for job in jobs:
+            obs.event("job_started", job=job.key, experiment=experiment)
             if isinstance(job, CompileJob):
                 pipeline = pipelines[(job.settings, job.baseline)]
                 circuit = make_benchmark(
@@ -248,8 +328,12 @@ class Runner:
                 futures[future] = (index, job)
         for index, job in fn_jobs:
             futures[pool.submit(_call_fn_job, job)] = (index, job)
+        for _index, job in sorted(futures.values(), key=lambda pair: pair[0]):
+            obs.event("job_started", job=job.key, experiment=experiment)
 
         buffer = _ReorderBuffer()
+        in_flight = len(futures)
+        obs.gauge("runner.jobs_in_flight", in_flight)
         for future in as_completed(futures):
             index, job = futures[future]
             out = _named(job, experiment, future.result)
@@ -261,7 +345,10 @@ class Runner:
                 record = _fn_record(
                     job, out, experiment=experiment, scale=scale, seed=seed
                 )
+            in_flight -= 1
+            obs.gauge("runner.jobs_in_flight", in_flight)
             buffer.push(index, record)
+            obs.observe("runner.reorder_depth", len(buffer))
             yield from buffer.drain()
 
     @contextmanager
@@ -331,27 +418,61 @@ class ShardTask:
     jobs: tuple[tuple[int, Job], ...]  # (canonical index, job) pairs
     base_dir: str | None = None
     delta_dir: str | None = None
+    #: Collect telemetry in the shard process (the coordinator sets this
+    #: when a session is active on its side; the child cannot see it).
+    telemetry: bool = False
 
 
-def run_shard(task: ShardTask) -> list[tuple[int, ExperimentRecord]]:
-    """Execute one shard serially; records come back with canonical indices.
+@dataclass
+class ShardOutcome:
+    """Everything one executed shard sends back — still host-agnostic.
+
+    ``pairs`` is the result payload (canonical index, record).  The rest is
+    out-of-band telemetry the coordinator folds into its own state: the
+    shard cache's session totals (hits/misses/evictions — previously these
+    died with the subprocess and sharded summaries under-reported),
+    the child session's metrics registry snapshot, and its buffered event
+    log (re-emitted parent-side with the shard index stamped on).
+    """
+
+    pairs: list[tuple[int, ExperimentRecord]]
+    cache: dict[str, Any] | None = None
+    metrics: dict[str, Any] | None = None
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+
+def run_shard(task: ShardTask) -> ShardOutcome:
+    """Execute one shard serially; outcome carries canonical-indexed records.
 
     Module-level so a process pool pickles it by reference; takes and
     returns only picklable values, so any transport that can move a
-    :class:`ShardTask` and a record list (subprocess, socket, object
-    store) can host a shard.
+    :class:`ShardTask` and a :class:`ShardOutcome` (subprocess, socket,
+    object store) can host a shard.  With ``task.telemetry`` set, the
+    shard runs under its own collect-only session whose registry snapshot
+    and event buffer travel back in the outcome; compilation spans ride
+    the records themselves either way.
     """
     cache = None
     if task.delta_dir is not None:
         cache = ShardDiskCache(task.delta_dir, base=task.base_dir)
-    runner = SerialRunner(cache=cache)
-    records = runner.run_jobs(
-        [job for _index, job in task.jobs],
-        experiment=task.experiment,
-        scale=task.scale,
-        seed=task.seed,
+    runner = SerialRunner(cache=cache, telemetry=task.telemetry)
+    jobs = [job for _index, job in task.jobs]
+    kwargs = dict(experiment=task.experiment, scale=task.scale, seed=task.seed)
+    snapshot: dict[str, Any] | None = None
+    events: list[dict[str, Any]] = []
+    if task.telemetry:
+        with obs.session() as tele:
+            records = runner.run_jobs(jobs, **kwargs)
+            snapshot = tele.metrics.snapshot()
+            events = list(tele.events.events)
+    else:
+        records = runner.run_jobs(jobs, **kwargs)
+    return ShardOutcome(
+        pairs=[(index, record) for (index, _job), record in zip(task.jobs, records)],
+        cache=cache.stats() if cache is not None else None,
+        metrics=snapshot,
+        events=events,
     )
-    return [(index, record) for (index, _job), record in zip(task.jobs, records)]
 
 
 class ShardedRunner(Runner):
@@ -380,6 +501,7 @@ class ShardedRunner(Runner):
         max_workers: int | None = None,
         cache=None,
         shards: int | None = None,
+        telemetry: bool = False,
     ) -> None:
         if cache is not None and not isinstance(cache, DiskCache):
             raise ReproError(
@@ -389,10 +511,18 @@ class ShardedRunner(Runner):
             )
         if shards is not None and shards < 1:
             raise ReproError(f"shard count must be >= 1, got {shards}")
-        super().__init__(max_workers=max_workers, cache=cache)
+        super().__init__(max_workers=max_workers, cache=cache, telemetry=telemetry)
         self.shards = DEFAULT_SHARDS if shards is None else shards
 
-    def iter_jobs(
+    def _adopt(self, tele, record: ExperimentRecord) -> None:
+        # The child already counted this record's cache provenance into the
+        # registry snapshot we merged, and already emitted its job_finished
+        # (re-emitted with the shard stamped on) — folding or emitting here
+        # again would double everything.  Spans still need adopting: they
+        # ride the record, not the snapshot.
+        tele.adopt_record(record, fold_metrics=False, emit_event=False)
+
+    def _iter_jobs(
         self,
         jobs: Sequence[Job],
         *,
@@ -404,6 +534,7 @@ class ShardedRunner(Runner):
         self._check_jobs(jobs)
         if not jobs:
             return
+        tele = obs.active()
         members: dict[int, list[tuple[int, Job]]] = {}
         for index, job in enumerate(jobs):
             members.setdefault(shard_for(job.key, self.shards), []).append(
@@ -423,17 +554,28 @@ class ShardedRunner(Runner):
                         if delta_for(shard) is not None
                         else None
                     ),
+                    telemetry=self.telemetry or tele is not None,
                 )
                 for shard, shard_jobs in sorted(members.items())
             ]
             workers = self.max_workers or len(tasks)
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(run_shard, task): task for task in tasks}
+                futures = {}
+                submitted = {}
+                for task in tasks:
+                    futures[pool.submit(run_shard, task)] = task
+                    submitted[task.shard_index] = (time.time(), time.perf_counter())
+                    obs.event(
+                        "shard_started",
+                        shard=task.shard_index,
+                        experiment=experiment,
+                        jobs=len(task.jobs),
+                    )
                 buffer = _ReorderBuffer()
                 for future in as_completed(futures):
                     task = futures[future]
                     try:
-                        pairs = future.result()
+                        outcome = future.result()
                     except Exception as exc:
                         raise ReproError(
                             f"{experiment} shard {task.shard_index}: {exc}"
@@ -443,9 +585,43 @@ class ShardedRunner(Runner):
                         # records: once a consumer has seen a record, the
                         # artifacts behind it are in the warm store.
                         self.cache.merge_from(task.delta_dir)
-                    for index, record in pairs:
+                    if self.cache is not None and outcome.cache:
+                        # The shard cache counted in its own process; fold
+                        # its session totals so this runner's cache reports
+                        # the whole run, not just coordinator-side lookups.
+                        with self.cache._lock:
+                            self.cache.hits += outcome.cache.get("hits", 0)
+                            self.cache.misses += outcome.cache.get("misses", 0)
+                            self.cache.evictions += outcome.cache.get(
+                                "evictions", 0
+                            )
+                    if tele is not None:
+                        self._merge_shard_telemetry(tele, task, outcome, submitted)
+                    for index, record in outcome.pairs:
                         buffer.push(index, record)
                     yield from buffer.drain()
+
+    @staticmethod
+    def _merge_shard_telemetry(tele, task, outcome, submitted) -> None:
+        """Fold one shard's out-of-band telemetry into the session."""
+        if outcome.metrics:
+            tele.metrics.merge(outcome.metrics)
+        for child_event in outcome.events:
+            fields = dict(child_event)
+            ts = fields.pop("ts", None)
+            kind = fields.pop("kind", "?")
+            fields.setdefault("shard", task.shard_index)
+            tele.events.emit(kind, _ts=ts, **fields)
+        ts0, wall0 = submitted[task.shard_index]
+        tele.tracer.add_span(
+            f"shard:{task.shard_index}",
+            ts=ts0,
+            dur=time.perf_counter() - wall0,
+            attrs={"jobs": len(task.jobs)},
+        )
+        tele.events.emit(
+            "shard_merged", shard=task.shard_index, jobs=len(task.jobs)
+        )
 
 
 def _compile_record(
@@ -475,6 +651,17 @@ def _compile_record(
             "pl_ratio": float(outcome.pl_ratio),
         }
         timings = dict(outcome.timings_by_pass)
+    # PassContext.metrics provenance: logical layers mapped, peak memory,
+    # cache hit/miss counts.  Rides the outcome across pickle boundaries,
+    # so process-pool runs account correctly too.
+    metrics = dict(getattr(outcome, "metrics", {}) or {})
+    pass_timings = getattr(outcome, "pass_timings", None)
+    if pass_timings:
+        # The CPU half of the wall/CPU split: summed pass wall seconds from
+        # pool runners include contention, and this is what quantifies it.
+        metrics["cpu_seconds_total"] = sum(
+            timing.cpu_seconds or 0.0 for timing in pass_timings
+        )
     return ExperimentRecord(
         experiment=experiment,
         scale=scale,
@@ -482,10 +669,8 @@ def _compile_record(
         job=job.key,
         fields=fields,
         timings=timings,
-        # PassContext.metrics provenance: logical layers mapped, peak
-        # memory, cache hit/miss counts.  Rides the outcome across pickle
-        # boundaries, so process-pool runs account correctly too.
-        metrics=dict(getattr(outcome, "metrics", {}) or {}),
+        metrics=metrics,
+        spans=tuple(getattr(outcome, "spans", ()) or ()),
     )
 
 

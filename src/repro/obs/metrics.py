@@ -1,0 +1,150 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+The numeric half of the telemetry layer (:mod:`repro.obs`): named
+**counters** (cache hits, evictions, jobs finished), **gauges** (jobs in
+flight), and **histograms** (frontier-BFS wavefront sizes, reorder-buffer
+depth) with stdlib-only summary statistics — count/sum/min/max, enough for
+hit-rate and latency tables without reservoir sampling.
+
+Everything is snapshot/merge oriented: a subprocess's registry serializes
+to a plain dict (:meth:`MetricsRegistry.snapshot`) that travels the same
+pickle channels its records do, and the parent folds it back with
+:meth:`MetricsRegistry.merge` — counters add, histograms combine, gauges
+keep the receiver's value (gauges describe *this* process's live state).
+
+When no telemetry session is active the module-level helpers in
+:mod:`repro.obs` short-circuit before ever touching a registry, so the
+disabled path costs one global load and a ``None`` check.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class Histogram:
+    """Streaming summary of an observed value: count, sum, min, max."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def merge(self, other: dict[str, Any]) -> None:
+        """Fold another histogram's snapshot into this one."""
+        self.count += int(other.get("count", 0))
+        self.total += float(other.get("sum", 0.0))
+        for key, pick in (("min", min), ("max", max)):
+            value = other.get(key)
+            if value is None:
+                continue
+            mine = self.minimum if key == "min" else self.maximum
+            merged = pick(mine, value) if mine is not None else value
+            if key == "min":
+                self.minimum = merged
+            else:
+                self.maximum = merged
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms behind one lock.
+
+    Lazily creating on first touch keeps call sites declaration-free:
+    ``registry.inc("cache.hits")`` is the whole API.  The lock makes the
+    thread runner's concurrent bumps safe; per-operation cost is one
+    uncontended lock acquire — nothing on the disabled path, which never
+    reaches a registry at all.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    # -- write paths ---------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.observe(value)
+
+    # -- read paths ----------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float | None:
+        with self._lock:
+            return self._gauges.get(name)
+
+    def histogram(self, name: str) -> dict[str, Any] | None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            return histogram.snapshot() if histogram is not None else None
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict, JSON/pickle-ready copy of everything recorded."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: histogram.snapshot()
+                    for name, histogram in self._histograms.items()
+                },
+            }
+
+    def merge(self, snapshot: dict[str, Any] | None) -> None:
+        """Fold a child process's snapshot in: counters add, histograms
+        combine, gauges fill only gaps (a child's live-state gauge does not
+        overwrite the parent's)."""
+        if not snapshot:
+            return
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in snapshot.get("gauges", {}).items():
+                self._gauges.setdefault(name, value)
+        for name, data in snapshot.get("histograms", {}).items():
+            with self._lock:
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms[name] = Histogram()
+            histogram.merge(data)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import RenormalizationError
 from repro.utils.dsu import DisjointSet
 from repro.utils.gridgeom import Coord2D
@@ -125,14 +126,22 @@ def frontier_bfs(
     """
     engine = _frontier_engine()
     if engine is None:
-        return _frontier_bfs_python(indptr, indices, source)
-    csr_array, breadth_first_order = engine
-    node_count = indptr.shape[0] - 1
-    graph = csr_array(
-        (np.ones(indices.shape[0], dtype=np.float64), indices, indptr),
-        shape=(node_count, node_count),
-    )
-    return breadth_first_order(graph, source, directed=True, return_predecessors=True)
+        order, predecessors = _frontier_bfs_python(indptr, indices, source)
+    else:
+        csr_array, breadth_first_order = engine
+        node_count = indptr.shape[0] - 1
+        graph = csr_array(
+            (np.ones(indices.shape[0], dtype=np.float64), indices, indptr),
+            shape=(node_count, node_count),
+        )
+        order, predecessors = breadth_first_order(
+            graph, source, directed=True, return_predecessors=True
+        )
+    if obs.active() is not None:
+        # Out-of-band wavefront-size telemetry; the ``active`` gate keeps
+        # the untraced hot path to one global read.
+        obs.observe("online.bfs_nodes", int(order.shape[0]))
+    return order, predecessors
 
 
 def grid_spans(

@@ -54,6 +54,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any
 
+from repro import obs
 from repro.errors import CompilationError
 from repro.pipeline.context import PassContext
 from repro.pipeline.passes import CompilerPass
@@ -232,6 +233,10 @@ class DiskCache(ArtifactCache):
     def _path(self, key: str) -> Path:
         return _entry_path(self.directory, key)
 
+    def stats(self) -> dict[str, Any]:
+        """Session totals plus this store's eviction count."""
+        return {**super().stats(), "evictions": self.evictions}
+
     def _entries(self):
         """Every entry file currently in the store (depth-2 ``*.pkl`` only,
         so shard scratch under ``.shards/`` never counts as an entry)."""
@@ -335,6 +340,8 @@ class DiskCache(ArtifactCache):
         with self._lock:
             self.evictions += removed
             self._approx_bytes = total  # re-sync the estimate to truth
+        if removed:
+            obs.count("cache.evictions", removed)
         return removed
 
     # -- shard exchange -----------------------------------------------------
@@ -546,7 +553,12 @@ class CachePass(CompilerPass):
                 ctx.put(artifact_name, value)
             ctx.metrics.update(payload["metrics"])
             self._count(ctx, "cache_hits")
+            # Event only, never a registry counter: ``cache.*`` counters
+            # derive exclusively from record metrics at adoption time, so
+            # all four runner backends reconcile to one source of truth.
+            obs.event("cache_hit", stage=self.name, circuit=ctx.circuit.name)
             return
+        obs.event("cache_miss", stage=self.name, circuit=ctx.circuit.name)
         before = dict(ctx.metrics)
         self.inner.run(ctx)
         delta = {

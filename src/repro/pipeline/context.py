@@ -24,17 +24,47 @@ from repro.utils.rng import RandomStream
 
 @dataclass(frozen=True)
 class PassTiming:
-    """Wall-clock seconds spent inside one pass."""
+    """Time spent inside one pass: wall clock, plus the CPU split.
+
+    ``seconds`` is wall-clock time (``time.perf_counter``).
+    ``cpu_seconds`` is the executing thread's CPU time over the same
+    interval (``time.thread_time``); the split is what lets summed pass
+    timings from thread/process runners be reconciled against wall time —
+    under contention wall exceeds CPU, and the ratio says by how much.
+    ``None`` marks a timing recorded by a pre-split producer.
+    """
 
     name: str
     seconds: float
+    cpu_seconds: float | None = None
+
+    @property
+    def wall_seconds(self) -> float:
+        """Alias making the wall/CPU pairing explicit at use sites."""
+        return self.seconds
 
 
 def aggregate_timings(timings: list[PassTiming]) -> dict[str, float]:
-    """Pass name -> accumulated seconds, in execution order."""
+    """Pass name -> accumulated wall seconds, in execution order."""
     out: dict[str, float] = {}
     for timing in timings:
         out[timing.name] = out.get(timing.name, 0.0) + timing.seconds
+    return out
+
+
+def aggregate_timings_split(timings: list[PassTiming]) -> dict[str, dict[str, float]]:
+    """Pass name -> ``{"wall_seconds", "cpu_seconds"}``, in execution order.
+
+    The serial/parallel diagnosis view: ``aggregate_timings`` folds the
+    wall column only, which made thread/process sweeps look like they
+    spent more pass time than the run's wall clock.  Missing CPU values
+    (pre-split timings) count as 0 toward the CPU column.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for timing in timings:
+        row = out.setdefault(timing.name, {"wall_seconds": 0.0, "cpu_seconds": 0.0})
+        row["wall_seconds"] += timing.seconds
+        row["cpu_seconds"] += timing.cpu_seconds or 0.0
     return out
 
 
@@ -57,6 +87,10 @@ class PassContext:
     artifacts: dict[str, Any] = field(default_factory=dict)
     timings: list[PassTiming] = field(default_factory=list)
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: Telemetry spans recorded during this compilation (JSON-ready dicts,
+    #: see :mod:`repro.obs.trace`).  Out-of-band by contract: results carry
+    #: them across process boundaries, but nothing may compute from them.
+    spans: list[dict[str, Any]] = field(default_factory=list)
 
     # -- randomness ---------------------------------------------------------
 
@@ -92,8 +126,10 @@ class PassContext:
 
     # -- timings ------------------------------------------------------------
 
-    def record_timing(self, name: str, seconds: float) -> None:
-        self.timings.append(PassTiming(name, seconds))
+    def record_timing(
+        self, name: str, seconds: float, cpu_seconds: float | None = None
+    ) -> None:
+        self.timings.append(PassTiming(name, seconds, cpu_seconds))
 
     def seconds_for(self, name: str) -> float:
         """Total seconds recorded for passes named ``name`` (0.0 if none)."""
@@ -103,3 +139,8 @@ class PassContext:
     def timings_by_pass(self) -> dict[str, float]:
         """Pass name -> accumulated seconds, in execution order."""
         return aggregate_timings(self.timings)
+
+    @property
+    def timings_split_by_pass(self) -> dict[str, dict[str, float]]:
+        """Pass name -> wall/CPU second split, in execution order."""
+        return aggregate_timings_split(self.timings)

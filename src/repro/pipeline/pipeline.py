@@ -12,11 +12,13 @@ circuit name — execution order never feeds the randomness.
 
 from __future__ import annotations
 
+import copy
 import functools
 import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 
+from repro import obs
 from repro.baseline.retry import BaselineResult
 from repro.circuits.circuit import Circuit
 from repro.errors import CompilationError
@@ -55,12 +57,16 @@ def _compile_shard(
 
     Module-level (process pools pickle it by reference) and self-contained:
     the pipeline it receives is already bound to the shard's own cache
-    view, so the only thing flowing back is the indexed result list.
+    view.  Flowing back are the indexed results plus the shard cache's
+    session counters — the coordinator folds them into its own cache
+    object so sharded batch runs report complete hit/miss totals.
     """
-    return [
+    pairs = [
         (index, _compile_one(pipeline, baseline, circuit, seed))
         for index, circuit, seed in items
     ]
+    stats = pipeline.cache.stats() if pipeline.cache is not None else None
+    return pairs, stats
 
 
 def default_passes() -> tuple[CompilerPass, ...]:
@@ -88,6 +94,7 @@ class Pipeline:
         seed: int | None = None,
         cache=None,
         cache_only: tuple[str, ...] | None = None,
+        telemetry: bool = False,
     ) -> None:
         self.settings = settings or PipelineSettings()
         base: tuple[CompilerPass, ...] = (
@@ -101,28 +108,74 @@ class Pipeline:
             base = cached_passes(base, cache, cache_only)
         self.passes = base
         self.seed = seed
+        # Collection intent, not a handle: a bool survives pickling into
+        # process-pool workers, where the parent's session is invisible.
+        # The recorded spans ride back on the result (``ctx.spans``).
+        self.telemetry = telemetry
 
     # -- core execution -----------------------------------------------------
 
     def run(self, ctx: PassContext) -> PassContext:
-        """Run every pass over ``ctx``, enforcing contracts and timing each."""
+        """Run every pass over ``ctx``, enforcing contracts and timing each.
+
+        With ``telemetry`` enabled — explicitly, or implicitly because a
+        telemetry session is active in this process — the loop additionally
+        records one ``pass:<name>`` span per stage under a ``compile`` root,
+        measured from the *same* clock reads that feed
+        ``PassContext.timings``, so trace summaries reconcile with pass
+        timings exactly.  Timings and artifacts are identical either way:
+        spans are out-of-band.
+        """
+        if self.telemetry or obs.active() is not None:
+            return self._run_traced(ctx)
         for stage in self.passes:
-            missing = [key for key in stage.requires if key not in ctx.artifacts]
-            if missing:
-                raise CompilationError(
-                    f"pass {stage.name!r} requires artifacts {missing} that no "
-                    f"earlier pass provided (present: {sorted(ctx.artifacts)})"
-                )
+            self._check_requires(stage, ctx)
+            cpu0 = time.thread_time()
             start = time.perf_counter()
             stage.run(ctx)
-            ctx.record_timing(stage.name, time.perf_counter() - start)
-            for key in stage.provides:
-                if key not in ctx.artifacts:
-                    raise CompilationError(
-                        f"pass {stage.name!r} promised artifact {key!r} but "
-                        "did not produce it"
-                    )
+            ctx.record_timing(
+                stage.name,
+                time.perf_counter() - start,
+                time.thread_time() - cpu0,
+            )
+            self._check_provides(stage, ctx)
         return ctx
+
+    def _run_traced(self, ctx: PassContext) -> PassContext:
+        """The ``run`` loop with span recording around every stage."""
+        tracer = obs.Tracer()
+        ctx.spans = tracer.spans  # spans land directly in the context
+        with obs.push_tracer(tracer):
+            with tracer.span(
+                "compile",
+                circuit=ctx.circuit.name,
+                qubits=ctx.circuit.num_qubits,
+            ):
+                for stage in self.passes:
+                    self._check_requires(stage, ctx)
+                    with tracer.span(f"pass:{stage.name}") as sp:
+                        stage.run(ctx)
+                    ctx.record_timing(stage.name, sp.wall, sp.cpu)
+                    self._check_provides(stage, ctx)
+        return ctx
+
+    @staticmethod
+    def _check_requires(stage: CompilerPass, ctx: PassContext) -> None:
+        missing = [key for key in stage.requires if key not in ctx.artifacts]
+        if missing:
+            raise CompilationError(
+                f"pass {stage.name!r} requires artifacts {missing} that no "
+                f"earlier pass provided (present: {sorted(ctx.artifacts)})"
+            )
+
+    @staticmethod
+    def _check_provides(stage: CompilerPass, ctx: PassContext) -> None:
+        for key in stage.provides:
+            if key not in ctx.artifacts:
+                raise CompilationError(
+                    f"pass {stage.name!r} promised artifact {key!r} but "
+                    "did not produce it"
+                )
 
     def run_circuit(self, circuit: Circuit, seed: int | None = None) -> PassContext:
         """Build a fresh context for ``circuit`` and run the chain over it."""
@@ -147,7 +200,14 @@ class Pipeline:
         """
         from repro.pipeline.cache import uncached_passes
 
-        return Pipeline(self.settings, uncached_passes(self.passes), self.seed, cache, only)
+        return Pipeline(
+            self.settings,
+            uncached_passes(self.passes),
+            self.seed,
+            cache,
+            only,
+            telemetry=self.telemetry,
+        )
 
     # -- one-shot entry points ---------------------------------------------
 
@@ -168,6 +228,7 @@ class Pipeline:
             instructions=ctx.get("instructions", []),
             pass_timings=list(ctx.timings),
             metrics=dict(ctx.metrics),
+            spans=list(ctx.spans),
         )
 
     def compile_baseline(self, circuit: Circuit, seed: int | None = None) -> BaselineResult:
@@ -175,10 +236,11 @@ class Pipeline:
         ctx = self.settings.context_for(circuit, self._seed_for(seed))
         Pipeline(
             self.settings, baseline_passes(), cache=self.cache,
-            cache_only=self.cache_only,
+            cache_only=self.cache_only, telemetry=self.telemetry,
         ).run(ctx)
         result = ctx.require("baseline")
         result.metrics = dict(ctx.metrics)
+        result.spans = list(ctx.spans)
         return result
 
     # -- batch execution ----------------------------------------------------
@@ -223,6 +285,23 @@ class Pipeline:
         translate/offline-map prefix instead of recompiling it per seed;
         results are bit-identical with the cache on or off.
         """
+        if not self.telemetry and obs.active() is not None:
+            # A session is collecting: opt the whole batch in so spans come
+            # back on every result, wherever the job runs.  A shallow copy
+            # keeps the caller's pipeline (and its cache binding) untouched.
+            clone = copy.copy(self)
+            clone.telemetry = True
+            return clone.compile_many(
+                circuits,
+                seeds=seeds,
+                max_workers=max_workers,
+                baseline=baseline,
+                backend=backend,
+                executor=executor,
+                as_futures=as_futures,
+                cache=cache,
+                shards=shards,
+            )
         if cache is not None and cache is not self.cache:
             if self.cache is not None:
                 raise CompilationError(
@@ -339,9 +418,16 @@ class Pipeline:
                     ] = delta
                 for future in as_completed(futures):
                     delta = futures[future]
-                    pairs = future.result()
+                    pairs, stats = future.result()
                     if base is not None and delta is not None:
                         base.merge_from(delta)
+                    if base is not None and stats is not None:
+                        # Shard caches count in their own process; without
+                        # this fold the coordinator's session totals would
+                        # read zero after a fully-cached sharded batch.
+                        with base._lock:
+                            base.hits += stats.get("hits", 0)
+                            base.misses += stats.get("misses", 0)
                     for index, result in pairs:
                         results[index] = result
         return results

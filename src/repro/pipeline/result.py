@@ -11,7 +11,11 @@ from dataclasses import dataclass, field
 from repro.ir.instructions import Instruction
 from repro.offline.mapper import MappingResult
 from repro.online.timelike import ReshapeMetrics
-from repro.pipeline.context import PassTiming, aggregate_timings
+from repro.pipeline.context import (
+    PassTiming,
+    aggregate_timings,
+    aggregate_timings_split,
+)
 
 
 @dataclass
@@ -33,6 +37,11 @@ class CompilationResult:
     #: peak memory, cache hit/miss counts, ...) — the provenance channel the
     #: experiment layer surfaces into ``ExperimentRecord.metrics``.
     metrics: dict = field(default_factory=dict, repr=False)
+    #: Telemetry spans recorded during this compilation (empty unless the
+    #: pipeline ran with ``telemetry=True``).  Out-of-band by contract:
+    #: consumers adopt them into a session trace, nothing computes from
+    #: them — results are identical with or without.
+    spans: list = field(default_factory=list, repr=False)
 
     @property
     def pl_ratio(self) -> float:
@@ -48,3 +57,8 @@ class CompilationResult:
     def timings_by_pass(self) -> dict[str, float]:
         """Pass name -> seconds, for reports and the CLI's ``--json``."""
         return aggregate_timings(self.pass_timings)
+
+    @property
+    def timings_split_by_pass(self) -> dict[str, dict[str, float]]:
+        """Pass name -> ``{"wall_seconds", "cpu_seconds"}`` split."""
+        return aggregate_timings_split(self.pass_timings)

@@ -259,3 +259,115 @@ class TestShardedFlags:
         )
         assert code == 2
         assert "DiskCache" in capsys.readouterr().err
+
+    def test_sharded_session_totals_fold_into_cache_session(self, capsys, tmp_path):
+        # Satellite fix: the per-shard subprocess hit/miss counts used to be
+        # dropped after merge_from; now cache_session reports the whole run.
+        cache_dir = str(tmp_path / "artifacts")
+        code = main(
+            ["experiment", "--name", "fig14", "--json", "--runner", "sharded",
+             "--shards", "2", "--cache-dir", cache_dir]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        session = payload["cache_session"]
+        assert session["backend"] == "disk"
+        assert session["hits"] == payload["cache"]["hits"]
+        assert session["misses"] == payload["cache"]["misses"]
+        assert session["misses"] > 0
+        assert "evictions" in session
+
+
+class TestTelemetryFlags:
+    def test_compile_trace_out_writes_valid_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["compile", "--benchmark", "qaoa", "--qubits", "4", "--json",
+             "--trace-out", str(trace)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert f"wrote {trace}" in captured.err
+        lines = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        names = [line["name"] for line in lines if line["type"] == "span"]
+        assert "compile" in names and "pass:online-reshape" in names
+        # The compile record itself is unchanged by tracing.
+        traced = json.loads(captured.out)
+        assert main(["compile", "--benchmark", "qaoa", "--qubits", "4",
+                     "--json"]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        for field in ("rsl_count", "fusion_count", "logical_layers", "pl_ratio"):
+            assert traced[field] == plain[field], field
+
+    def test_compile_chrome_trace_format(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        code = main(
+            ["compile", "--benchmark", "qaoa", "--qubits", "4", "--json",
+             "--trace-out", str(trace), "--trace-format", "chrome"]
+        )
+        assert code == 0
+        obj = json.loads(trace.read_text())
+        assert obj["traceEvents"] and obj["traceEvents"][0]["ph"] == "X"
+
+    def test_experiment_telemetry_and_summarize(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        events = tmp_path / "events.jsonl"
+        code = main(
+            ["experiment", "--name", "fig14", "--json",
+             "--trace-out", str(trace), "--events-out", str(events)]
+        )
+        traced = json.loads(capsys.readouterr().out)
+        assert code == 0
+        event_kinds = {
+            json.loads(line)["kind"] for line in events.read_text().splitlines()
+        }
+        assert {"run_started", "job_finished", "run_finished"} <= event_kinds
+        code = main(
+            ["telemetry", "summarize", "--trace", str(trace),
+             "--events", str(events), "--json"]
+        )
+        summary = json.loads(capsys.readouterr().out)
+        assert code == 0
+        # The summary reconciles with the run's own records: per-pass wall
+        # seconds match the summed t_ timings, compile count matches the
+        # compile-job count.
+        compile_entries = [
+            entry
+            for entry in traced["records"]
+            if "cpu_seconds_total" in entry["metrics"]
+        ]
+        assert summary["compiles"] == len(compile_entries)
+        for name, row in summary["passes"].items():
+            recorded = sum(
+                entry["timings"].get(name, 0.0) for entry in compile_entries
+            )
+            assert abs(row["wall_seconds"] - recorded) < 1e-9
+        assert summary["runs"]["fig14"]["jobs"] == len(traced["records"])
+        assert summary["events"]["job_finished"] == len(traced["records"])
+        # Human-readable rendering works on the same files.
+        code = main(["telemetry", "summarize", "--trace", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-pass" in out and "cache" in out
+
+    def test_summarize_missing_trace_is_an_error(self, capsys, tmp_path):
+        code = main(
+            ["telemetry", "summarize", "--trace", str(tmp_path / "nope.jsonl")]
+        )
+        assert code == 2
+        assert "telemetry:" in capsys.readouterr().err
+
+    def test_experiment_records_identical_with_trace_out(self, capsys, tmp_path):
+        code = main(["experiment", "--name", "fig14", "--json"])
+        plain = json.loads(capsys.readouterr().out)
+        assert code == 0
+        code = main(
+            ["experiment", "--name", "fig14", "--json",
+             "--trace-out", str(tmp_path / "t.jsonl")]
+        )
+        traced = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert [entry["fields"] for entry in traced["records"]] == [
+            entry["fields"] for entry in plain["records"]
+        ]

@@ -173,10 +173,16 @@ class TestShardedRunner:
             jobs=jobs,
         )
         clone = pickle.loads(pickle.dumps(task))
-        pairs = run_shard(clone)
-        assert [index for index, _record in pairs] == list(range(len(jobs)))
-        records = [record for _index, record in pairs]
+        outcome = run_shard(clone)
+        # The outcome itself must make the return trip intact.
+        outcome = pickle.loads(pickle.dumps(outcome))
+        assert [index for index, _record in outcome.pairs] == list(range(len(jobs)))
+        records = [record for _index, record in outcome.pairs]
         assert canonical_json(records) == canonical_json(REFERENCE.records)
+        # No cache and no telemetry were asked for; the outcome says so.
+        assert outcome.cache is None
+        assert outcome.metrics is None
+        assert outcome.events == []
 
     def test_artifact_exchange_warms_across_runs_and_shard_counts(self, tmp_path):
         cache = DiskCache(tmp_path)
