@@ -398,6 +398,170 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the compile service until SIGINT/SIGTERM, then drain and exit."""
+    import asyncio
+    import signal
+
+    from repro.serve import ReproServer, ServeConfig
+
+    cache = _cache_from(args)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix_socket,
+        cache=cache,
+        max_inflight=args.max_inflight,
+        request_timeout=args.request_timeout,
+        drain_timeout=args.drain_timeout,
+    )
+
+    async def _run() -> int:
+        server = ReproServer(config)
+        await server.start()
+        if server.port is not None:
+            print(f"serving on {config.host}:{server.port}", flush=True)
+        if config.unix_path is not None:
+            print(f"serving on unix:{config.unix_path}", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signame in ("SIGINT", "SIGTERM"):
+            try:
+                loop.add_signal_handler(getattr(signal, signame), stop.set)
+            except (NotImplementedError, OSError):  # non-unix platforms
+                pass
+        await stop.wait()
+        print("draining in-flight requests...", file=sys.stderr)
+        await server.shutdown()
+        return 0
+
+    # The telemetry session wraps the whole server lifetime, so the trace
+    # written at exit covers startup sweep, every request, and the drain.
+    with _telemetry_session(args):
+        try:
+            return asyncio.run(_run())
+        except KeyboardInterrupt:
+            return 0
+
+
+def _submit_request(args: argparse.Namespace) -> dict:
+    """Map ``repro submit`` flags onto one protocol request."""
+    if args.stats:
+        return {"op": "stats"}
+    if args.name:
+        return {
+            "op": "experiment",
+            "name": args.name,
+            "scale": args.scale,
+            "seed": args.seed,
+            "runner": args.runner,
+            "workers": args.workers,
+            "shards": args.shards,
+            "pathfind": args.pathfind,
+        }
+    if args.benchmark:
+        return {
+            "op": "baseline" if args.baseline else "compile",
+            "benchmark": args.benchmark,
+            "qubits": args.qubits,
+            "rate": args.rate,
+            "stars": args.stars,
+            "seed": args.seed,
+            "max_rsl": args.max_rsl,
+            "pathfind": args.pathfind or "vector",
+        }
+    raise ReproError(
+        "submit: pick a request — --name EXPERIMENT, "
+        "--benchmark NAME --qubits N [--baseline], or --stats"
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Send one request to a running server; stream the response down."""
+    from repro.experiments.streams import JsonlStreamWriter
+    from repro.serve import ServeClient, ServerError
+    from repro.serve.protocol import record_from_payload
+
+    try:
+        request = _submit_request(args)
+    except ReproError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    client = ServeClient(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix_socket,
+        timeout=args.timeout,
+    )
+    if args.wait:
+        client.wait_until_up(timeout=args.wait)
+    # Records stream to --out (extension-selected writer) or stdout JSONL
+    # the moment their frames arrive — the submit path shares the
+    # `--stream --out` writers, so server and local files are line-equal.
+    writer = make_stream_writer(args.out) if args.out else None
+    if writer is None and request["op"] == "experiment" and not args.json:
+        writer = JsonlStreamWriter(sys.stdout)
+
+    def on_frame(frame: dict) -> None:
+        if frame["frame"] == "record" and writer is not None:
+            writer.write(record_from_payload(frame["record"]))
+        elif frame["frame"] == "pass" and not args.json:
+            print(
+                f"pass {frame['pass']}: {frame['seconds']:.3f} s",
+                file=sys.stderr,
+            )
+
+    try:
+        run = client.submit(request, on_frame=on_frame)
+    except (OSError, ReproError) as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if args.out and writer is not None:
+            writer.close()
+            print(
+                f"wrote {args.out} ({writer.records_written} records, "
+                "streamed)",
+                file=sys.stderr,
+            )
+    if args.frames_out:
+        # The response verbatim: the ack, then the shared stream's exact
+        # wire bytes — what benchmarks/serve_schema.py validates in CI.
+        from repro.serve.protocol import encode_frame
+
+        with open(args.frames_out, "wb") as handle:
+            if run.ack is not None:
+                handle.write(encode_frame(run.ack))
+            for line in run.raw:
+                handle.write(line)
+        print(f"wrote {args.frames_out}", file=sys.stderr)
+    try:
+        run.raise_for_error()
+    except ServerError as exc:
+        print(f"submit: server error ({exc.kind}): {exc}", file=sys.stderr)
+        return 1
+    if run.ack is not None and run.coalesced:
+        print("coalesced onto an in-flight identical request", file=sys.stderr)
+    if request["op"] == "stats":
+        print(json.dumps(run.stats, indent=2))
+        return 0
+    if request["op"] == "experiment":
+        result = run.experiment_result()
+        if args.json:
+            print(json.dumps(result.to_json_obj(), indent=2))
+        else:
+            summary = run.summary or {}
+            print(
+                f"streamed {len(run.records)} records in "
+                f"{summary.get('elapsed_s', 0.0):.3f} s "
+                f"(cache hit rate {summary.get('cache', {}).get('hit_rate', 0.0):.0%})",
+                file=sys.stderr,
+            )
+        return 0
+    print(json.dumps(run.result, indent=2))
+    return 0
+
+
 def cmd_percolate(args: argparse.Namespace) -> int:
     from repro.online.percolation import sample_lattice
     from repro.online.renormalize import renormalize
@@ -519,6 +683,115 @@ def build_parser() -> argparse.ArgumentParser:
     )
     summarize_parser.set_defaults(handler=cmd_telemetry)
 
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the streaming compile service (JSONL over TCP/unix socket)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to listen on (0 picks a free port, printed at startup)",
+    )
+    serve_parser.add_argument(
+        "--unix-socket",
+        metavar="PATH",
+        default=None,
+        help="also (or instead) listen on a unix domain socket at PATH",
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        metavar="N",
+        help="concurrent compiles; further requests queue (identical "
+        "concurrent requests coalesce onto one compile regardless)",
+    )
+    serve_parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request wall-clock bound; a timed-out subscriber gets an "
+        "error frame (a coalesced compile keeps serving other subscribers)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long shutdown waits for in-flight requests before cancelling",
+    )
+    _add_cache_args(serve_parser)
+    _add_telemetry_args(serve_parser)
+    serve_parser.set_defaults(handler=cmd_serve)
+
+    submit_parser = commands.add_parser(
+        "submit",
+        help="send one request to a running `repro serve` and stream the result",
+    )
+    submit_parser.add_argument("--host", default="127.0.0.1")
+    submit_parser.add_argument("--port", type=int, default=None)
+    submit_parser.add_argument(
+        "--unix-socket", metavar="PATH", default=None,
+        help="connect over a unix domain socket instead of TCP",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="socket timeout for connect and reads",
+    )
+    submit_parser.add_argument(
+        "--wait", type=float, nargs="?", const=10.0, default=None,
+        metavar="SECONDS",
+        help="poll until the server accepts connections before submitting "
+        "(races startup; bare --wait polls for 10 s)",
+    )
+    submit_parser.add_argument(
+        "--name", help="experiment request: a registered experiment name"
+    )
+    submit_parser.add_argument("--scale", default="bench", choices=list(SCALES))
+    submit_parser.add_argument("--seed", type=int, default=0)
+    submit_parser.add_argument(
+        "--runner", default="serial", choices=list(RUNNERS),
+        help="server-side execution backend for experiment requests",
+    )
+    submit_parser.add_argument("--workers", type=int, default=None, metavar="N")
+    submit_parser.add_argument("--shards", type=int, default=None, metavar="N")
+    submit_parser.add_argument(
+        "--pathfind", default=None, choices=list(PATHFINDS)
+    )
+    submit_parser.add_argument(
+        "--benchmark", choices=sorted(BENCHMARKS),
+        help="compile request: benchmark family (with --qubits)",
+    )
+    submit_parser.add_argument("--qubits", type=int, default=None)
+    submit_parser.add_argument("--rate", type=float, default=0.75)
+    submit_parser.add_argument("--stars", type=int, default=4)
+    submit_parser.add_argument("--max-rsl", type=int, default=10**6)
+    submit_parser.add_argument(
+        "--baseline", action="store_true",
+        help="run the OneQ baseline instead of the OnePerc compile",
+    )
+    submit_parser.add_argument(
+        "--stats", action="store_true",
+        help="fetch the server's live introspection snapshot",
+    )
+    submit_parser.add_argument(
+        "--json", action="store_true",
+        help="print the folded result as JSON instead of streaming records",
+    )
+    submit_parser.add_argument(
+        "--out", metavar="FILE",
+        help="stream records to FILE as they arrive (.csv -> CSV, else JSONL)",
+    )
+    submit_parser.add_argument(
+        "--frames-out", metavar="FILE",
+        help="also dump the response's raw protocol frames (ack + stream) "
+        "as JSONL, for benchmarks/serve_schema.py validation",
+    )
+    submit_parser.set_defaults(handler=cmd_submit)
+
     percolate_parser = commands.add_parser(
         "percolate", help="sample and renormalize one RSL"
     )
@@ -532,7 +805,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `repro submit --stats | head`) closed
+        # early; swallow the noise and let the shell see a clean exit.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -344,6 +344,55 @@ class DiskCache(ArtifactCache):
             obs.count("cache.evictions", removed)
         return removed
 
+    # -- maintenance (long-running services) --------------------------------
+
+    def sweep_scratch(self) -> None:
+        """Remove stale shard scratch under this store's ``.shards/``.
+
+        A crashed sharded run (SIGKILL, OOM) skips ``shard_scratch``'s
+        cleanup; until the *next sharded run* against the same store, the
+        orphaned deltas sit outside the entry globs — invisible to the
+        ``max_bytes`` budget — and grow the directory without bound.  A
+        long-running service may never start a sharded run, so it sweeps
+        explicitly at startup (same age gate as ``shard_scratch``:
+        concurrent live runs' scratch is seconds old, never a day).
+        """
+        _sweep_stale_scratch(self.directory / ".shards")
+
+    def verify(self) -> int:
+        """Drop unreadable or truncated entries; returns how many.
+
+        A torn write (power loss racing ``os.replace`` on a non-atomic
+        filesystem), bit rot, or a foreign file in the entry namespace all
+        surface later as an unpickling error in the middle of a request.
+        Verification at service startup converts that latent failure into
+        a counted miss: each entry's pickle is loaded once and failures
+        are unlinked.  Emits ``cache.verify_dropped`` and a
+        ``cache_verified`` event so dashboards see store health.
+        """
+        dropped = 0
+        checked = 0
+        for path in self._entries():
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                continue  # raced with a concurrent eviction
+            checked += 1
+            try:
+                payload = pickle.loads(blob)
+                if not isinstance(payload, dict):
+                    raise ValueError("entry payload is not a dict")
+            except Exception:
+                path.unlink(missing_ok=True)
+                dropped += 1
+        if self.max_bytes is not None:
+            with self._lock:
+                self._approx_bytes = self.total_bytes()
+        if dropped:
+            obs.count("cache.verify_dropped", dropped)
+        obs.event("cache_verified", entries=checked, dropped=dropped)
+        return dropped
+
     # -- shard exchange -----------------------------------------------------
 
     def merge_from(self, shard_dir: str | os.PathLike) -> int:

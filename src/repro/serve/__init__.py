@@ -1,0 +1,44 @@
+"""Compile-as-a-service: the streaming JSONL server and its client.
+
+The service turns the streaming experiment API into shared infrastructure:
+an asyncio server (:mod:`~repro.serve.server`) speaks newline-delimited
+JSON frames (:mod:`~repro.serve.protocol`) over TCP and Unix sockets,
+coalesces concurrent identical requests onto one in-flight compile
+(:mod:`~repro.serve.singleflight`), and streams each record or
+pass-completion event the moment it exists.  A blocking client
+(:mod:`~repro.serve.client`) backs the ``repro submit`` CLI verb and the
+test suites.  Stdlib-only by design — deploying the service adds no
+dependency the compiler itself does not have.
+"""
+
+from repro.serve.client import ServeClient, ServerError, StreamedRun
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    TERMINAL_FRAMES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    validate_request,
+)
+from repro.serve.server import ReproServer, ServeConfig, ServerThread, request_key
+from repro.serve.singleflight import InflightStream, SingleFlight
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "TERMINAL_FRAMES",
+    "InflightStream",
+    "ProtocolError",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServerError",
+    "ServerThread",
+    "SingleFlight",
+    "StreamedRun",
+    "decode_frame",
+    "encode_frame",
+    "request_key",
+    "validate_request",
+]

@@ -1,0 +1,212 @@
+"""Single-flight coalescing: one in-flight compile, many subscribers.
+
+Concurrent requests that normalize to the same key (circuit fingerprint +
+config for compiles, normalized request for experiments) must not compile
+twice: the first request starts a *producer*; every later request joins
+the same :class:`InflightStream` and replays its buffer from the start, so
+a subscriber that arrives mid-stream still receives the complete frame
+sequence — never a partial tail.  When the producer finishes, the key is
+retired: the *next* request for it starts a fresh compile (which then hits
+the warm artifact cache instead of recomputing).
+
+The stream is thread/async bilingual by design: producers are plain
+threads (the server's worker pool), subscribers are either blocking
+iterators (tests, the in-process client path) waiting on a
+``threading.Condition`` or asyncio generators (the server's connection
+handlers) woken through ``loop.call_soon_threadsafe`` — no polling on
+either side.
+
+Items are opaque to this module; the server publishes *encoded frame
+bytes*, which is what makes "every subscriber of one key receives
+identical bytes" true by construction rather than by re-serialization.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, AsyncIterator, Callable, Iterator
+
+
+class InflightStream:
+    """An append-only broadcast buffer with full-replay subscription.
+
+    One producer appends via :meth:`publish` and closes via :meth:`finish`;
+    any number of subscribers iterate the buffer from index zero.  The
+    buffer is never truncated while the stream object is alive, so a
+    subscriber joining at any point observes the identical item sequence.
+    """
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self._cond = threading.Condition()
+        self._items: list[Any] = []
+        self._done = False
+        self._error: BaseException | None = None
+        # Async subscribers park one (loop, event) pair per wait; a publish
+        # or finish drains the list and wakes each on its own loop.
+        self._wakers: list[tuple[asyncio.AbstractEventLoop, asyncio.Event]] = []
+
+    # -- producer side -------------------------------------------------------
+
+    def publish(self, item: Any) -> None:
+        """Append one item and wake every waiting subscriber."""
+        with self._cond:
+            if self._done:
+                raise RuntimeError(f"stream {self.key!r} is already finished")
+            self._items.append(item)
+            self._cond.notify_all()
+            wakers, self._wakers = self._wakers, []
+        self._wake(wakers)
+
+    def finish(self, error: BaseException | None = None) -> None:
+        """Close the stream; ``error`` (if any) re-raises in subscribers.
+
+        Idempotent: the producer's ``finally`` and an exceptional path may
+        both land here.
+        """
+        with self._cond:
+            if self._done:
+                return
+            self._done = True
+            self._error = error
+            self._cond.notify_all()
+            wakers, self._wakers = self._wakers, []
+        self._wake(wakers)
+
+    @staticmethod
+    def _wake(wakers: list[tuple[asyncio.AbstractEventLoop, asyncio.Event]]) -> None:
+        for loop, event in wakers:
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:
+                pass  # the subscriber's loop already shut down
+
+    # -- subscriber side -----------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        with self._cond:
+            return self._done
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def subscribe(self, timeout: float | None = None) -> Iterator[Any]:
+        """Blocking full-replay iteration: items 0..n, then StopIteration
+        (or the producer's error).  ``timeout`` bounds each *wait*, not the
+        whole iteration; expiry raises ``TimeoutError``."""
+        cursor = 0
+        while True:
+            with self._cond:
+                if not self._cond.wait_for(
+                    lambda: len(self._items) > cursor or self._done, timeout
+                ):
+                    raise TimeoutError(
+                        f"stream {self.key!r}: no item within {timeout}s"
+                    )
+                chunk = self._items[cursor:]
+                done, error = self._done, self._error
+            cursor += len(chunk)
+            yield from chunk
+            if done and not chunk:
+                if error is not None:
+                    raise error
+                return
+
+    async def asubscribe(self) -> AsyncIterator[Any]:
+        """Async full-replay iteration (the server's subscriber path)."""
+        cursor = 0
+        while True:
+            with self._cond:
+                chunk = self._items[cursor:]
+                done, error = self._done, self._error
+                if not chunk and not done:
+                    event = asyncio.Event()
+                    self._wakers.append((asyncio.get_running_loop(), event))
+            if chunk:
+                cursor += len(chunk)
+                for item in chunk:
+                    yield item
+                continue
+            if done:
+                if error is not None:
+                    raise error
+                return
+            await event.wait()
+
+
+class SingleFlight:
+    """Keyed coalescing of in-flight work.
+
+    :meth:`join` either starts a producer for ``key`` (this caller is the
+    *leader*) or returns the already-running stream (this caller
+    *coalesced*).  The leader's ``start`` callback receives the fresh
+    stream and must arrange for exactly one producer to eventually call
+    :meth:`finish` — typically by submitting to a worker pool.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[str, InflightStream] = {}
+        self.started = 0
+        self.coalesced = 0
+
+    def join(
+        self, key: str, start: Callable[[InflightStream], Any]
+    ) -> tuple[InflightStream, bool]:
+        """The stream for ``key`` plus whether this caller is the leader."""
+        with self._lock:
+            stream = self._inflight.get(key)
+            if stream is not None:
+                self.coalesced += 1
+                return stream, False
+            stream = InflightStream(key)
+            self._inflight[key] = stream
+            self.started += 1
+        try:
+            start(stream)
+        except BaseException as exc:
+            # The producer never launched: retire the key and fail every
+            # subscriber (there is exactly one — this caller) rather than
+            # leaving an immortal in-flight entry that coalesces forever.
+            self.finish(key, stream, error=exc)
+            raise
+        return stream, True
+
+    def retire(self, key: str, stream: InflightStream) -> None:
+        """Remove ``key`` from the in-flight map *without* closing the stream.
+
+        Producers call this immediately before publishing their terminal
+        frame: by the time any subscriber can observe that frame (and issue
+        a follow-up request), the key is already retired — so a repeat
+        request races into a fresh flight that hits the warm cache, never a
+        full replay of a response produced before it was submitted.
+        """
+        with self._lock:
+            if self._inflight.get(key) is stream:
+                del self._inflight[key]
+
+    def finish(
+        self,
+        key: str,
+        stream: InflightStream,
+        error: BaseException | None = None,
+    ) -> None:
+        """Close ``stream`` and retire ``key`` (producers call this from a
+        ``finally``).  Late subscribers holding the stream object still
+        replay its full buffer; new requests for the key start fresh."""
+        stream.finish(error)
+        with self._lock:
+            if self._inflight.get(key) is stream:
+                del self._inflight[key]
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime counters plus the current in-flight key count."""
+        with self._lock:
+            return {
+                "started": self.started,
+                "coalesced": self.coalesced,
+                "inflight": len(self._inflight),
+            }

@@ -421,3 +421,63 @@ class TestShardExchange:
         shard = ShardDiskCache(tmp_path / "delta", base=base.directory)
         clone = pickle.loads(pickle.dumps(shard))
         assert clone.fetch("k") is not None  # read-through survives pickling
+
+
+class TestMaintenance:
+    """Startup hygiene for long-running stores: sweep + verify."""
+
+    def test_verify_drops_corrupt_entries_and_counts(self, tmp_path):
+        from repro import obs
+
+        cache = DiskCache(tmp_path)
+        cache.store("00good", {"artifacts": {"x": 1}, "metrics": {}})
+        cache.store("11trunc", {"artifacts": {"y": 2}, "metrics": {}})
+        cache.store("22alien", {"artifacts": {"z": 3}, "metrics": {}})
+        # torn write: half a pickle; alien: valid pickle, wrong payload shape
+        trunc = cache._path("11trunc")
+        trunc.write_bytes(trunc.read_bytes()[:7])
+        cache._path("22alien").write_bytes(pickle.dumps([1, 2, 3]))
+        with obs.session() as tele:
+            dropped = cache.verify()
+        assert dropped == 2
+        assert len(cache) == 1
+        assert cache.fetch("00good") is not None
+        assert cache.fetch("11trunc") is None  # a counted miss, not a crash
+        assert tele.metrics.snapshot()["counters"]["cache.verify_dropped"] == 2
+        kinds = [event["kind"] for event in tele.events.events]
+        assert "cache_verified" in kinds
+
+    def test_verify_clean_store_is_a_no_op(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store("00k", {"artifacts": {}, "metrics": {}})
+        assert cache.verify() == 0
+        assert cache.fetch("00k") is not None
+
+    def test_verify_resyncs_budget_accounting(self, tmp_path):
+        cache = DiskCache(tmp_path, max_bytes=10_000)
+        cache.store("00k", {"artifacts": {"x": list(range(50))}, "metrics": {}})
+        cache._path("00k").write_bytes(b"garbage")
+        cache.verify()
+        assert cache._approx_bytes == cache.total_bytes() == 0
+
+    def test_sweep_scratch_removes_stale_but_not_fresh(self, tmp_path):
+        import os
+        import time as _time
+
+        from repro.pipeline.cache import STALE_SCRATCH_SECONDS
+
+        cache = DiskCache(tmp_path)
+        shards = tmp_path / ".shards"
+        stale = shards / "batch-dead"
+        fresh = shards / "batch-live"
+        for scratch in (stale, fresh):
+            scratch.mkdir(parents=True)
+            (scratch / "shard-0").mkdir()
+        old = _time.time() - STALE_SCRATCH_SECONDS - 60
+        os.utime(stale, (old, old))
+        cache.sweep_scratch()
+        assert not stale.exists()  # crashed run's leftovers are gone
+        assert fresh.exists()  # a live run's scratch is untouched
+
+    def test_sweep_scratch_without_shards_dir(self, tmp_path):
+        DiskCache(tmp_path).sweep_scratch()  # no .shards/: nothing to do

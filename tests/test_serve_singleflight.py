@@ -1,0 +1,201 @@
+"""Single-flight coalescing: one producer, many identical subscriber views.
+
+The deterministic core of the coalescing contract (the server-level burst
+test rides on top of this): N concurrent joiners of one key trigger
+exactly one producer, every subscriber drains the identical item sequence,
+and a subscriber arriving mid-stream replays from item zero — never a
+partial tail.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.serve.singleflight import InflightStream, SingleFlight
+
+
+class TestInflightStream:
+    def test_full_replay_after_finish(self):
+        stream = InflightStream("k")
+        for item in ("a", "b", "c"):
+            stream.publish(item)
+        stream.finish()
+        assert list(stream.subscribe()) == ["a", "b", "c"]
+        # replay is repeatable: the buffer is never truncated
+        assert list(stream.subscribe()) == ["a", "b", "c"]
+
+    def test_publish_after_finish_is_an_error(self):
+        stream = InflightStream("k")
+        stream.finish()
+        with pytest.raises(RuntimeError):
+            stream.publish("late")
+
+    def test_error_propagates_to_subscribers(self):
+        stream = InflightStream("k")
+        stream.publish("one")
+        stream.finish(error=ValueError("boom"))
+        items = []
+        with pytest.raises(ValueError, match="boom"):
+            for item in stream.subscribe():
+                items.append(item)
+        assert items == ["one"]  # everything before the failure arrives
+
+    def test_subscribe_timeout(self):
+        stream = InflightStream("k")
+        with pytest.raises(TimeoutError):
+            list(stream.subscribe(timeout=0.05))
+
+    def test_mid_stream_subscriber_gets_full_replay(self):
+        """A subscriber joining mid-production sees items from index 0."""
+        stream = InflightStream("k")
+        first_half = threading.Event()
+        release = threading.Event()
+
+        def produce():
+            for i in range(5):
+                stream.publish(i)
+            first_half.set()
+            release.wait(timeout=10)
+            for i in range(5, 10):
+                stream.publish(i)
+            stream.finish()
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        assert first_half.wait(timeout=10)
+        # join *after* five items are already out
+        collected = []
+        subscriber_started = threading.Event()
+
+        def subscribe():
+            iterator = stream.subscribe(timeout=10)
+            collected.append(next(iterator))  # replayed item 0
+            subscriber_started.set()
+            collected.extend(iterator)
+
+        subscriber = threading.Thread(target=subscribe)
+        subscriber.start()
+        assert subscriber_started.wait(timeout=10)
+        release.set()
+        producer.join(timeout=10)
+        subscriber.join(timeout=10)
+        assert collected == list(range(10))
+
+    def test_async_subscriber_woken_from_producer_thread(self):
+        stream = InflightStream("k")
+
+        async def consume():
+            items = []
+            async for item in stream.asubscribe():
+                items.append(item)
+            return items
+
+        def produce():
+            for i in range(20):
+                stream.publish(i)
+                time.sleep(0.001)
+            stream.finish()
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        items = asyncio.run(consume())
+        producer.join(timeout=10)
+        assert items == list(range(20))
+
+
+class TestSingleFlight:
+    def test_burst_runs_exactly_one_producer(self):
+        """N threads join one key: one compile, N identical sequences."""
+        flight = SingleFlight()
+        produced = []
+        gate = threading.Event()
+
+        def start(stream):
+            def produce():
+                gate.wait(timeout=10)  # hold until every joiner is in
+                produced.append(1)
+                for i in range(8):
+                    stream.publish(f"item-{i}")
+                flight.finish(stream.key, stream)
+
+            threading.Thread(target=produce).start()
+
+        n = 12
+        results: list[list] = [None] * n
+        barrier = threading.Barrier(n)
+
+        def join(slot):
+            barrier.wait(timeout=10)
+            stream, _leader = flight.join("key", start)
+            results[slot] = list(stream.subscribe(timeout=10))
+
+        threads = [threading.Thread(target=join, args=(i,)) for i in range(n)]
+        for thread in threads:
+            thread.start()
+        # release the producer only once every joiner is in the flight —
+        # join() returns before subscribe() blocks, so the counters are
+        # the ground truth for "everyone coalesced onto this stream"
+        for _ in range(200):
+            stats = flight.stats()
+            if stats["started"] + stats["coalesced"] >= n:
+                break
+            time.sleep(0.01)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert sum(produced) == 1  # exactly one compile executed
+        expected = [f"item-{i}" for i in range(8)]
+        assert all(result == expected for result in results)
+        stats = flight.stats()
+        assert stats["started"] == 1
+        assert stats["coalesced"] == n - 1
+        assert stats["inflight"] == 0
+
+    def test_key_retires_after_finish(self):
+        flight = SingleFlight()
+        streams = []
+
+        def start(stream):
+            streams.append(stream)
+            flight.finish(stream.key, stream)
+
+        first, leader_a = flight.join("k", start)
+        second, leader_b = flight.join("k", start)
+        assert leader_a and leader_b  # both led: the key retired in between
+        assert first is not second
+        assert flight.stats()["started"] == 2
+
+    def test_retire_before_terminal_prevents_stale_coalesce(self):
+        """A join after retire() starts fresh, even pre-finish().
+
+        The server retires a key just before publishing the terminal frame:
+        a client that sees the terminal and instantly resubmits must never
+        coalesce onto the response it just consumed.
+        """
+        flight = SingleFlight()
+        stream, _leader = flight.join("k", lambda s: None)
+        stream.publish("body")
+        flight.retire("k", stream)
+        fresh, leader = flight.join("k", lambda s: None)
+        assert leader and fresh is not stream
+        stream.publish("terminal")  # the retired stream is still writable
+        flight.finish("k", stream)  # idempotent: the fresh flight survives
+        assert flight.stats()["inflight"] == 1
+        assert list(stream.subscribe(timeout=1)) == ["body", "terminal"]
+        flight.finish("k", fresh)
+        assert flight.stats()["inflight"] == 0
+
+    def test_failed_start_retires_key_and_raises(self):
+        flight = SingleFlight()
+
+        def explode(stream):
+            raise RuntimeError("pool is gone")
+
+        with pytest.raises(RuntimeError, match="pool is gone"):
+            flight.join("k", explode)
+        assert flight.stats()["inflight"] == 0
+        # the key is usable again
+        ok, leader = flight.join("k", lambda s: flight.finish("k", s))
+        assert leader
