@@ -307,7 +307,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     cache = _cache_from(args)
     try:
         runner = make_runner(
-            args.runner, max_workers=args.workers, cache=cache, shards=args.shards
+            args.runner,
+            max_workers=args.workers,
+            cache=cache,
+            shards=args.shards,
+            chunk_size=args.chunk_size,
         )
     except ReproError as exc:
         # A bad runner/cache/shard combination (memory cache on the sharded
@@ -629,6 +633,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="worker count for pool runners (records are identical for any N)",
+    )
+    experiment_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="jobs per pool dispatch for --runner thread|process "
+        "(default: auto-sized ~jobs/(4*workers); records are identical "
+        "for any N)",
     )
     experiment_parser.add_argument(
         "--shards",

@@ -35,8 +35,14 @@ from repro.experiments.api import (
     run_experiment,
 )
 from repro.experiments.common import SCALES, BenchmarkCase
+from repro.experiments.pool import (
+    chunk_size_for,
+    get_pool,
+    shutdown_pools,
+)
 from repro.experiments.runners import (
     RUNNERS,
+    ChunkTask,
     ProcessRunner,
     Runner,
     SerialRunner,
@@ -45,6 +51,7 @@ from repro.experiments.runners import (
     ShardTask,
     ThreadRunner,
     make_runner,
+    run_chunk,
     run_shard,
     shard_for,
 )
@@ -56,6 +63,7 @@ from repro.experiments.streams import (
 
 __all__ = [
     "BenchmarkCase",
+    "ChunkTask",
     "CompileJob",
     "CsvStreamWriter",
     "EXPERIMENT_REGISTRY",
@@ -76,6 +84,7 @@ __all__ = [
     "ThreadRunner",
     "UnknownExperimentError",
     "canonical_json",
+    "chunk_size_for",
     "experiment_names",
     "fig12",
     "fig13",
@@ -83,14 +92,17 @@ __all__ = [
     "fig15",
     "fig16",
     "get_experiment",
+    "get_pool",
     "group_cells",
     "loss",
     "make_runner",
     "make_stream_writer",
     "register",
+    "run_chunk",
     "run_experiment",
     "run_shard",
     "shard_for",
+    "shutdown_pools",
     "table2",
     "table3",
 ]

@@ -15,10 +15,17 @@ serial, thread, process, and sharded backends all stream for free.
 
 Compile jobs are grouped by ``(settings, baseline)`` and dispatched through
 ``Pipeline.compile_many`` — the batch API is the single execution path for
-every compilation in the experiments layer.  A pool runner opens *one*
-executor per ``iter_jobs`` call, submits every batch and function job up
-front, and only then starts yielding, so pool startup is paid once and the
-pool stays saturated across groups.
+every compilation in the experiments layer.  Pool runners draw their
+executor from the **warm pool registry** (:mod:`repro.experiments.pool`):
+one process/thread pool per worker count, created on first use and reused
+across ``iter_jobs`` calls and whole sweeps, so pool startup is paid once
+per process, not once per run.  Jobs are submitted in **chunks** sized to
+amortize IPC (:func:`~repro.experiments.pool.chunk_size_for`; override
+with ``chunk_size=``/``--chunk-size``): each chunk executes in-worker and
+returns finished *records*, so the heavy compile artifacts (mapping,
+reshape, instruction stream) never travel back through the pool pipe —
+with a :class:`~repro.pipeline.cache.DiskCache` attached they are already
+in the shared store, which is the exchange medium.
 
 :class:`ShardedRunner` partitions the job list into N shards keyed by a
 stable hash of each job's key (:func:`shard_for`), executes every shard as
@@ -41,12 +48,7 @@ from __future__ import annotations
 
 import hashlib
 import time
-from concurrent.futures import (
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-    as_completed,
-)
-from contextlib import contextmanager
+from concurrent.futures import as_completed
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Sequence
 
@@ -54,6 +56,13 @@ from repro import obs
 from repro.circuits.benchmarks import make_benchmark
 from repro.errors import ReproError
 from repro.experiments.api import CompileJob, ExperimentRecord, FnJob, Job
+from repro.experiments.pool import (
+    chunk_size_for,
+    chunked,
+    discard_pool,
+    get_pool,
+    resolve_workers,
+)
 from repro.pipeline import Pipeline
 from repro.pipeline.cache import DiskCache, ShardDiskCache, shard_scratch
 
@@ -78,6 +87,120 @@ def _split_output(out: Any) -> tuple[dict[str, Any], dict[str, float]]:
         fields, timings = out
         return dict(fields), dict(timings)
     return dict(out), {}
+
+
+def _group_pipelines(
+    jobs: Sequence[Job], cache, telemetry: bool
+) -> dict[tuple, Pipeline]:
+    """One cache-wrapped pipeline per ``(settings, baseline)`` group."""
+    pipelines: dict[tuple, Pipeline] = {}
+    for job in jobs:
+        if isinstance(job, CompileJob):
+            group = (job.settings, job.baseline)
+            if group not in pipelines:
+                pipelines[group] = Pipeline(
+                    job.settings, cache=cache, telemetry=telemetry
+                )
+    return pipelines
+
+
+def _execute_job(
+    job: Job,
+    pipelines: dict[tuple, Pipeline],
+    *,
+    experiment: str,
+    scale: str,
+    seed: int,
+) -> ExperimentRecord:
+    """Run one job to a finished record — the one execution core.
+
+    Shared verbatim by the serial loop and the chunk worker, so in-line,
+    thread-, process-, and shard-hosted execution cannot drift: compile
+    jobs go through one-element ``compile_many`` batches (keeping the
+    batch API the single compilation path) against their group's shared
+    pipeline, fn jobs call their module-level function, and failures name
+    the job either way.
+    """
+    if isinstance(job, CompileJob):
+        pipeline = pipelines[(job.settings, job.baseline)]
+        circuit = make_benchmark(job.family, job.num_qubits, seed=job.benchmark_seed)
+        outcome = _named(
+            job,
+            experiment,
+            lambda: pipeline.compile_many(
+                [circuit], seeds=[job.seed], baseline=job.baseline
+            )[0],
+        )
+        return _compile_record(
+            job, outcome, experiment=experiment, scale=scale, seed=seed
+        )
+    out = _named(job, experiment, lambda: _call_fn_job(job))
+    return _fn_record(job, out, experiment=experiment, scale=scale, seed=seed)
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One pool dispatch quantum: a contiguous slice of a sweep's jobs.
+
+    Like :class:`ShardTask`, a chunk carries no live resources — indexed
+    self-seeded jobs, provenance, the cache handle (a thread pool shares
+    it by reference; a process pool pickles it, which for a
+    :class:`~repro.pipeline.cache.DiskCache` means *by path*, so workers
+    read and feed the one shared store), and the telemetry intent flag.
+    One chunk costs one pickle round trip however many jobs it holds.
+    """
+
+    experiment: str
+    scale: str
+    seed: int
+    jobs: tuple[tuple[int, Job], ...]  # (canonical index, job) pairs
+    cache: Any = None
+    telemetry: bool = False
+
+
+def run_chunk(task: ChunkTask) -> list[tuple[int, ExperimentRecord]]:
+    """Execute one chunk in-worker; return slim, record-shaped results.
+
+    Module-level so process pools pickle it by reference.  Records are
+    built *worker-side*: only the record's scalars, timings, metrics, and
+    spans travel back through the pool pipe, never the heavy compile
+    artifacts behind them (with a ``DiskCache`` attached those are
+    already in the shared store — the cache directory is the exchange
+    medium, so shipping the blobs again would pay for them twice).
+    """
+    jobs = [job for _index, job in task.jobs]
+    pipelines = _group_pipelines(jobs, task.cache, task.telemetry)
+    return [
+        (
+            index,
+            _execute_job(
+                job,
+                pipelines,
+                experiment=task.experiment,
+                scale=task.scale,
+                seed=task.seed,
+            ),
+        )
+        for index, job in task.jobs
+    ]
+
+
+def _fail_fast(pool, futures, exc: BaseException) -> None:
+    """The pool error path: cancel queued work; retire a poisoned pool.
+
+    Without this, a failing job surfaced only after every other queued
+    job ran to completion (the executor kept draining).  Cancelling makes
+    the failure immediate; on a real error the shared pool is also
+    retired via :func:`~repro.experiments.pool.discard_pool` (shutdown
+    with ``cancel_futures=True``), because a pool mid-way through a
+    cancelled sweep must not serve the next caller.  An abandoned
+    consumer (``GeneratorExit``) only cancels — the pool itself is
+    healthy and stays warm.
+    """
+    for future in futures:
+        future.cancel()
+    if not isinstance(exc, GeneratorExit):
+        discard_pool(pool)
 
 
 class _ReorderBuffer:
@@ -121,15 +244,25 @@ class Runner:
     """
 
     name = "serial"
+    #: Which warm-pool kind this backend draws from (None = in-line).
+    pool_kind: str | None = None
 
     def __init__(
         self,
         max_workers: int | None = None,
         cache=None,
         telemetry: bool = False,
+        chunk_size: int | None = None,
     ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ReproError(f"worker count must be >= 1, got {max_workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ReproError(f"chunk size must be >= 1, got {chunk_size}")
         self.max_workers = max_workers
         self.cache = cache
+        # Dispatch quantum for pool backends; None = auto-sized per sweep
+        # (see ``chunk_size_for``).  Records are identical for any value.
+        self.chunk_size = chunk_size
         # Explicit collection intent for contexts where no session can be
         # seen (a sharded child process runs with ``telemetry=True`` under
         # its own collect-only session); with a session active in *this*
@@ -220,17 +353,20 @@ class Runner:
         seed: int,
     ) -> Iterator[ExperimentRecord]:
         """The untraced execution core ``iter_jobs`` wraps."""
-        pipelines = self._group_pipelines(jobs)
-        with self._pool() as pool:
-            if pool is None:
-                yield from self._iter_serial(
-                    jobs, pipelines, experiment=experiment, scale=scale, seed=seed
-                )
-            else:
-                yield from self._iter_pool(
-                    pool, jobs, pipelines, experiment=experiment, scale=scale,
-                    seed=seed,
-                )
+        self._check_jobs(jobs)
+        pool = self._acquire_pool()
+        if pool is None:
+            yield from self._iter_serial(
+                jobs,
+                self._group_pipelines(jobs),
+                experiment=experiment,
+                scale=scale,
+                seed=seed,
+            )
+        else:
+            yield from self._iter_pool(
+                pool, jobs, experiment=experiment, scale=scale, seed=seed
+            )
 
     def _adopt(self, tele, record: ExperimentRecord) -> None:
         """Fold one finished record's telemetry into the session.
@@ -253,108 +389,79 @@ class Runner:
 
     def _group_pipelines(self, jobs: Sequence[Job]) -> dict[tuple, Pipeline]:
         """One cache-wrapped pipeline per ``(settings, baseline)`` group."""
-        self._check_jobs(jobs)
-        pipelines: dict[tuple, Pipeline] = {}
-        for job in jobs:
-            if isinstance(job, CompileJob):
-                group = (job.settings, job.baseline)
-                if group not in pipelines:
-                    pipelines[group] = Pipeline(
-                        job.settings, cache=self.cache, telemetry=self.telemetry
-                    )
-        return pipelines
+        return _group_pipelines(jobs, self.cache, self.telemetry)
 
     def _iter_serial(
         self, jobs, pipelines, *, experiment, scale, seed
     ) -> Iterator[ExperimentRecord]:
-        # In-line execution is already in canonical order: compile jobs go
-        # through one-element compile_many batches (keeping the batch API
-        # the single compilation path) against their group's shared
-        # pipeline, so cache behavior matches the batched path exactly.
+        # In-line execution is already in canonical order; the execution
+        # core is the same one the chunk workers run.
         for job in jobs:
             obs.event("job_started", job=job.key, experiment=experiment)
-            if isinstance(job, CompileJob):
-                pipeline = pipelines[(job.settings, job.baseline)]
-                circuit = make_benchmark(
-                    job.family, job.num_qubits, seed=job.benchmark_seed
-                )
-                outcome = _named(
-                    job,
-                    experiment,
-                    lambda p=pipeline, c=circuit, j=job: p.compile_many(
-                        [c], seeds=[j.seed], baseline=j.baseline
-                    )[0],
-                )
-                yield _compile_record(
-                    job, outcome, experiment=experiment, scale=scale, seed=seed
-                )
-            else:
-                out = _named(job, experiment, lambda j=job: _call_fn_job(j))
-                yield _fn_record(
-                    job, out, experiment=experiment, scale=scale, seed=seed
-                )
+            yield _execute_job(
+                job, pipelines, experiment=experiment, scale=scale, seed=seed
+            )
 
     def _iter_pool(
-        self, pool, jobs, pipelines, *, experiment, scale, seed
+        self, pool, jobs, *, experiment, scale, seed
     ) -> Iterator[ExperimentRecord]:
-        # Submit everything before yielding anything: every compile group
-        # (still batched through compile_many) and every fn job is in
-        # flight at once, so the pool stays saturated instead of draining
-        # group by group.
-        compile_groups: dict[tuple, list[tuple[int, CompileJob]]] = {}
-        fn_jobs: list[tuple[int, FnJob]] = []
-        for index, job in enumerate(jobs):
-            if isinstance(job, CompileJob):
-                compile_groups.setdefault((job.settings, job.baseline), []).append(
-                    (index, job)
-                )
-            else:
-                fn_jobs.append((index, job))
-        futures: dict = {}
-        for group, members in compile_groups.items():
-            pipeline = pipelines[group]
-            circuits = [
-                make_benchmark(job.family, job.num_qubits, seed=job.benchmark_seed)
-                for _index, job in members
-            ]
-            batch = pipeline.compile_many(
-                circuits,
-                seeds=[job.seed for _index, job in members],
-                baseline=group[1],
-                executor=pool,
-                as_futures=True,
-            )
-            for (index, job), future in zip(members, batch):
-                futures[future] = (index, job)
-        for index, job in fn_jobs:
-            futures[pool.submit(_call_fn_job, job)] = (index, job)
-        for _index, job in sorted(futures.values(), key=lambda pair: pair[0]):
+        # Chunked dispatch over the warm pool: every chunk is in flight
+        # before anything yields, so the pool stays saturated; each chunk
+        # comes back as finished records (one pickle round trip per chunk,
+        # no artifact blobs on the return path).
+        size = chunk_size_for(
+            len(jobs), resolve_workers(self.max_workers), self.chunk_size
+        )
+        telemetry = self.telemetry or obs.active() is not None
+        futures = {
+            pool.submit(
+                run_chunk,
+                ChunkTask(
+                    experiment=experiment,
+                    scale=scale,
+                    seed=seed,
+                    jobs=tuple(chunk),
+                    cache=self.cache,
+                    telemetry=telemetry,
+                ),
+            ): chunk
+            for chunk in chunked(list(enumerate(jobs)), size)
+        }
+        for job in jobs:
             obs.event("job_started", job=job.key, experiment=experiment)
-
+        obs.gauge("runner.chunk_size", size)
         buffer = _ReorderBuffer()
-        in_flight = len(futures)
+        in_flight = len(jobs)
         obs.gauge("runner.jobs_in_flight", in_flight)
-        for future in as_completed(futures):
-            index, job = futures[future]
-            out = _named(job, experiment, future.result)
-            if isinstance(job, CompileJob):
-                record = _compile_record(
-                    job, out, experiment=experiment, scale=scale, seed=seed
-                )
-            else:
-                record = _fn_record(
-                    job, out, experiment=experiment, scale=scale, seed=seed
-                )
-            in_flight -= 1
-            obs.gauge("runner.jobs_in_flight", in_flight)
-            buffer.push(index, record)
-            obs.observe("runner.reorder_depth", len(buffer))
-            yield from buffer.drain()
+        try:
+            for future in as_completed(futures):
+                chunk = futures[future]
+                try:
+                    pairs = future.result()
+                except ReproError:
+                    raise  # worker-side _named already names the failing job
+                except Exception as exc:
+                    keys = ", ".join(job.key for _index, job in chunk)
+                    raise ReproError(
+                        f"{experiment} chunk [{keys}]: {exc}"
+                    ) from exc
+                in_flight -= len(pairs)
+                obs.gauge("runner.jobs_in_flight", in_flight)
+                for index, record in pairs:
+                    buffer.push(index, record)
+                obs.observe("runner.reorder_depth", len(buffer))
+                yield from buffer.drain()
+        except BaseException as exc:
+            # Fail fast: a poisoned sweep must not wait for — or leave
+            # behind — the rest of its queued chunks.
+            _fail_fast(pool, futures, exc)
+            raise
 
-    @contextmanager
-    def _pool(self):
-        """The executor shared by every batch of one run (None = in-line)."""
-        yield None
+    def _acquire_pool(self):
+        """The warm executor this run dispatches to (None = in-line)."""
+        if self.pool_kind is None:
+            return None
+        return get_pool(self.pool_kind, self.max_workers)
 
 
 class SerialRunner(Runner):
@@ -363,20 +470,12 @@ class SerialRunner(Runner):
 
 class ThreadRunner(Runner):
     name = "thread"
-
-    @contextmanager
-    def _pool(self):
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            yield pool
+    pool_kind = "thread"
 
 
 class ProcessRunner(Runner):
     name = "process"
-
-    @contextmanager
-    def _pool(self):
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            yield pool
+    pool_kind = "process"
 
 
 # ---------------------------------------------------------------------------
@@ -559,9 +658,10 @@ class ShardedRunner(Runner):
                 for shard, shard_jobs in sorted(members.items())
             ]
             workers = self.max_workers or len(tasks)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {}
-                submitted = {}
+            pool = get_pool("process", workers)
+            futures = {}
+            submitted = {}
+            try:
                 for task in tasks:
                     futures[pool.submit(run_shard, task)] = task
                     submitted[task.shard_index] = (time.time(), time.perf_counter())
@@ -600,6 +700,12 @@ class ShardedRunner(Runner):
                     for index, record in outcome.pairs:
                         buffer.push(index, record)
                     yield from buffer.drain()
+            except BaseException as exc:
+                # Same fail-fast contract as the chunked pool path: a dead
+                # shard must not wait behind the live ones, and a poisoned
+                # pool must not serve the next sweep.
+                _fail_fast(pool, futures, exc)
+                raise
 
     @staticmethod
     def _merge_shard_telemetry(tele, task, outcome, submitted) -> None:
@@ -710,18 +816,35 @@ def make_runner(
     max_workers: int | None = None,
     cache=None,
     shards: int | None = None,
+    chunk_size: int | None = None,
 ) -> Runner:
-    """Instantiate a runner by name, with an error that lists the options."""
+    """Instantiate a runner by name, with an error that lists the options.
+
+    Validation happens here so the CLI surfaces usage errors before any
+    pool spins up: ``max_workers``/``shards``/``chunk_size`` must be >= 1
+    when given (``max_workers=0`` used to silently mean "all cores"), and
+    the knobs that only apply to some backends are rejected elsewhere.
+    """
     try:
         runner_cls = RUNNERS[name]
     except KeyError:
         raise ReproError(
             f"unknown runner {name!r}; available runners: {', '.join(RUNNERS)}"
         ) from None
+    if max_workers is not None and max_workers < 1:
+        raise ReproError(f"worker count must be >= 1, got {max_workers}")
+    if shards is not None and shards < 1:
+        raise ReproError(f"shard count must be >= 1, got {shards}")
+    if chunk_size is not None and runner_cls.pool_kind is None:
+        raise ReproError(
+            f"chunk size only applies to the pool runners "
+            f"({', '.join(n for n, c in RUNNERS.items() if c.pool_kind)}), "
+            f"not {name!r}"
+        )
     if issubclass(runner_cls, ShardedRunner):
         return runner_cls(max_workers=max_workers, cache=cache, shards=shards)
     if shards is not None:
         raise ReproError(
             f"shards only applies to the sharded runner, not {name!r}"
         )
-    return runner_cls(max_workers=max_workers, cache=cache)
+    return runner_cls(max_workers=max_workers, cache=cache, chunk_size=chunk_size)

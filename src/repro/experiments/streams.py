@@ -72,36 +72,70 @@ class JsonlStreamWriter(RecordStreamWriter):
         self._handle.write(json.dumps(line, sort_keys=True) + "\n")
 
 
+#: Provenance columns every record's flat row leads with — the header a
+#: zero-record CSV stream falls back to, so an empty run still produces a
+#: parseable file (matching ``to_csv``, which always emits a header row).
+LEAD_FIELDS = ("experiment", "scale", "seed", "job")
+
+
 class CsvStreamWriter(RecordStreamWriter):
     """One flat CSV row per record; header fixed by the first record.
 
     Missing columns in later records are blank (``restval``); novel
     columns are dropped and tallied in ``dropped_keys`` so the caller can
-    tell the user data went missing (and to use JSONL instead).
+    tell the user data went missing (and to use JSONL instead).  A run
+    that produces *no* records still gets a header at ``close()`` — the
+    ``fieldnames`` hint when the caller knows the schema up front, the
+    provenance lead columns otherwise — so downstream CSV tooling never
+    chokes on a headerless empty file.
     """
 
-    def __init__(self, handle: IO[str]) -> None:
+    def __init__(self, handle: IO[str], fieldnames: list[str] | None = None) -> None:
         super().__init__(handle)
         self._writer: csv.DictWriter | None = None
+        self._hint = list(fieldnames) if fieldnames else None
         self.fieldnames: list[str] = []
         self.dropped_keys: set[str] = set()
+
+    def _start(self, fieldnames: list[str]) -> None:
+        self.fieldnames = fieldnames
+        self._writer = csv.DictWriter(
+            self._handle, fieldnames=fieldnames, restval=""
+        )
+        self._writer.writeheader()
 
     def _emit(self, record: ExperimentRecord) -> None:
         row = record.flat()
         if self._writer is None:
-            self.fieldnames = list(row)
-            self._writer = csv.DictWriter(
-                self._handle, fieldnames=self.fieldnames, restval=""
-            )
-            self._writer.writeheader()
+            self._start(self._hint or list(row))
         known = {key: value for key, value in row.items() if key in self.fieldnames}
         self.dropped_keys.update(key for key in row if key not in self.fieldnames)
         self._writer.writerow(known)
 
+    def close(self) -> None:
+        if self._writer is None and not self._handle.closed:
+            # Zero records arrived: derive the header rather than leave a
+            # headerless (empty) CSV behind.
+            self._start(self._hint or list(LEAD_FIELDS))
+            self._handle.flush()
+        super().close()
 
-def make_stream_writer(path: str) -> RecordStreamWriter:
-    """The writer for ``path``, by extension (``.csv`` -> CSV, else JSONL)."""
+
+def make_stream_writer(
+    path: str, fieldnames: list[str] | None = None
+) -> RecordStreamWriter:
+    """The writer for ``path``, by extension (``.csv`` -> CSV, else JSONL).
+
+    ``fieldnames`` is an optional CSV schema hint (ignored for JSONL):
+    with it, the header is written from the hint instead of the first
+    record.  The opened handle never leaks: if writer construction fails,
+    the handle is closed before the error propagates.
+    """
     handle = open(path, "w", newline="")
-    if path.lower().endswith(".csv"):
-        return CsvStreamWriter(handle)
-    return JsonlStreamWriter(handle)
+    try:
+        if path.lower().endswith(".csv"):
+            return CsvStreamWriter(handle, fieldnames=fieldnames)
+        return JsonlStreamWriter(handle)
+    except BaseException:
+        handle.close()
+        raise

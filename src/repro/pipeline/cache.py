@@ -280,7 +280,23 @@ class DiskCache(ArtifactCache):
         )
         try:
             handle.write(blob)
+            # Durability before visibility: fsync the temp file so the
+            # rename can never publish a truncated entry after a crash —
+            # os.replace is atomic in the namespace, but without the fsync
+            # the *data* may still be dirty page cache when the name flips.
+            handle.flush()
+            os.fsync(handle.fileno())
             handle.close()
+            if self.max_bytes is not None:
+                # Overwrite accounting: os.replace drops the old payload,
+                # so only charge the size *delta* — charging the full blob
+                # on every overwrite drifts the estimate upward until a
+                # store sitting under budget pays a spurious full-directory
+                # eviction scan on each write.
+                try:
+                    replaced = path.stat().st_size
+                except OSError:
+                    replaced = 0
             os.replace(handle.name, path)
         except BaseException:
             handle.close()
@@ -291,7 +307,7 @@ class DiskCache(ArtifactCache):
             raise
         if self.max_bytes is not None:
             with self._lock:
-                self._approx_bytes += len(blob)
+                self._approx_bytes += len(blob) - replaced
                 over_budget = self._approx_bytes > self.max_bytes
             if over_budget:
                 self._evict_to_budget()
@@ -362,8 +378,11 @@ class DiskCache(ArtifactCache):
     def verify(self) -> int:
         """Drop unreadable or truncated entries; returns how many.
 
-        A torn write (power loss racing ``os.replace`` on a non-atomic
-        filesystem), bit rot, or a foreign file in the entry namespace all
+        ``_write`` fsyncs before ``os.replace``, so a crash can no longer
+        publish a truncated entry of our own making — what remains for
+        verification is the rest of the threat model: a torn write on a
+        non-atomic filesystem, bit rot, or a foreign file in the entry
+        namespace, any of which would otherwise
         surface later as an unpickling error in the middle of a request.
         Verification at service startup converts that latent failure into
         a counted miss: each entry's pickle is loaded once and failures

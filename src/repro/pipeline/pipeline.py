@@ -16,7 +16,7 @@ import copy
 import functools
 import time
 from collections.abc import Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from concurrent.futures import as_completed
 
 from repro import obs
 from repro.baseline.retry import BaselineResult
@@ -48,6 +48,22 @@ def _compile_one(
         return one(circuit, seed)
     except Exception as exc:
         raise CompilationError(f"compiling {circuit.name}: {exc}") from exc
+
+
+def _compile_chunk(
+    pipeline: "Pipeline", baseline: bool, items: list[tuple[int, Circuit, int | None]]
+):
+    """One warm-pool dispatch quantum: a contiguous slice compiled in-worker.
+
+    Module-level so process pools pickle it by reference.  One chunk costs
+    one submit/pickle round trip however many jobs it carries — the lever
+    that makes pool backends profitable for short jobs (see
+    :mod:`repro.experiments.pool`).
+    """
+    return [
+        (index, _compile_one(pipeline, baseline, circuit, seed))
+        for index, circuit, seed in items
+    ]
 
 
 def _compile_shard(
@@ -256,6 +272,7 @@ class Pipeline:
         as_futures: bool = False,
         cache=None,
         shards: int | None = None,
+        chunk_size: int | None = None,
     ) -> list[CompilationResult] | list[BaselineResult] | list:
         """Compile a batch of circuits, optionally across a worker pool.
 
@@ -272,14 +289,19 @@ class Pipeline:
         deltas merge back as shards finish (the sharded runner's artifact
         exchange, at the batch level); ``None`` keeps the legacy inference
         — a thread pool when ``max_workers > 1``, serial otherwise.  A caller managing many
-        batches (the experiment runners) can pass a live ``executor``
-        instead, so one pool serves every batch rather than paying startup
-        per call; with ``as_futures=True`` the batch is submitted without
+        batches can pass a live ``executor``
+        instead; with ``as_futures=True`` the batch is submitted without
         blocking and the input-ordered ``Future`` list comes back, letting
-        the caller keep the pool saturated across batches.  Results come
-        back in input order and are identical for any backend, pool, and
-        ``max_workers`` — the per-job RNG derivation never sees the
-        scheduler.  ``cache`` (an :class:`~repro.pipeline.cache.
+        the caller keep the pool saturated across batches.  The thread and
+        process backends draw their executor from the **warm pool
+        registry** (:mod:`repro.experiments.pool`) — one pool per worker
+        count, created on first use and reused by every later batch, so
+        startup is paid once per process — and submit jobs in contiguous
+        chunks (auto ~``len(jobs)/(4*workers)`` apiece, or ``chunk_size``)
+        to amortize per-submit pickling.  Results come
+        back in input order and are identical for any backend, pool,
+        ``max_workers``, and chunk size — the per-job RNG derivation never
+        sees the scheduler.  ``cache`` (an :class:`~repro.pipeline.cache.
         ArtifactCache`) makes every job of the batch share one artifact
         store, so a sweep over the seed axis reuses the deterministic
         translate/offline-map prefix instead of recompiling it per seed;
@@ -301,6 +323,7 @@ class Pipeline:
                 as_futures=as_futures,
                 cache=cache,
                 shards=shards,
+                chunk_size=chunk_size,
             )
         if cache is not None and cache is not self.cache:
             if self.cache is not None:
@@ -316,6 +339,7 @@ class Pipeline:
                 executor=executor,
                 as_futures=as_futures,
                 shards=shards,
+                chunk_size=chunk_size,
             )
         jobs = list(circuits)
         if seeds is None or isinstance(seeds, int):
@@ -331,12 +355,18 @@ class Pipeline:
             raise CompilationError("as_futures=True requires an executor")
         if shards is not None and shards < 1:
             raise CompilationError(f"shard count must be >= 1, got {shards}")
+        if chunk_size is not None and chunk_size < 1:
+            raise CompilationError(f"chunk size must be >= 1, got {chunk_size}")
         if executor is not None and (
-            backend is not None or max_workers is not None or shards is not None
+            backend is not None
+            or max_workers is not None
+            or shards is not None
+            or chunk_size is not None
         ):
             raise CompilationError(
-                "executor conflicts with backend/max_workers/shards: the "
-                "supplied pool already fixes the execution strategy"
+                "executor conflicts with backend/max_workers/shards/"
+                "chunk_size: the supplied pool already fixes the execution "
+                "strategy"
             )
         if executor is not None:
             futures = [
@@ -352,23 +382,56 @@ class Pipeline:
             raise CompilationError(
                 f"shards only applies to backend='sharded', not {backend!r}"
             )
+        if chunk_size is not None and backend not in ("thread", "process"):
+            raise CompilationError(
+                f"chunk_size only applies to the pool backends "
+                f"('thread', 'process'), not {backend!r}"
+            )
         if backend == "sharded":
             return self._compile_sharded(
                 jobs, job_seeds, baseline, shards or max_workers or 2
             )
         if backend == "serial":
             return [runner(circuit, seed) for circuit, seed in zip(jobs, job_seeds)]
-        if backend == "thread":
-            pool_cls = ThreadPoolExecutor
-        elif backend == "process":
-            pool_cls = ProcessPoolExecutor
-        else:
+        if backend not in ("thread", "process"):
             raise CompilationError(
                 f"unknown compile_many backend {backend!r}; "
                 "use 'serial', 'thread', 'process', or 'sharded'"
             )
-        with pool_cls(max_workers=max_workers) as pool:
-            return list(pool.map(runner, jobs, job_seeds))
+        # Lazy import: repro.experiments.pool lives in a package whose
+        # __init__ imports this module — importing it at module scope would
+        # be circular.  The registry hands back a warm, shared executor.
+        from repro.experiments.pool import (
+            chunk_size_for,
+            chunked,
+            discard_pool,
+            get_pool,
+            resolve_workers,
+        )
+
+        if not jobs:
+            return []
+        pool = get_pool(backend, max_workers)
+        size = chunk_size_for(len(jobs), resolve_workers(max_workers), chunk_size)
+        indexed = list(zip(range(len(jobs)), jobs, job_seeds))
+        futures = [
+            pool.submit(_compile_chunk, self, baseline, chunk)
+            for chunk in chunked(indexed, size)
+        ]
+        results: list = [None] * len(jobs)
+        try:
+            for future in futures:
+                for index, result in future.result():
+                    results[index] = result
+        except BaseException:
+            # Fail fast and retire the poisoned pool: queued chunks are
+            # cancelled so the error surfaces now, and the next batch gets
+            # a fresh executor (see repro.experiments.pool.discard_pool).
+            for future in futures:
+                future.cancel()
+            discard_pool(pool)
+            raise
+        return results
 
     def _compile_sharded(
         self,
@@ -401,10 +464,13 @@ class Pipeline:
         members: dict[int, list[tuple[int, Circuit, int | None]]] = {}
         for index, (circuit, seed) in enumerate(zip(jobs, job_seeds)):
             members.setdefault(index % shards, []).append((index, circuit, seed))
+        from repro.experiments.pool import discard_pool, get_pool
+
         results: list = [None] * len(jobs)
         with shard_scratch(base, prefix="batch-") as delta_for:
-            with ProcessPoolExecutor(max_workers=min(shards, len(members) or 1)) as pool:
-                futures = {}
+            pool = get_pool("process", min(shards, len(members) or 1))
+            futures = {}
+            try:
                 for shard, items in sorted(members.items()):
                     delta = delta_for(shard)
                     worker = self
@@ -430,4 +496,11 @@ class Pipeline:
                             base.misses += stats.get("misses", 0)
                     for index, result in pairs:
                         results[index] = result
+            except BaseException:
+                # Fail fast: cancel the shards still queued and retire the
+                # pool so the failure surfaces immediately.
+                for future in futures:
+                    future.cancel()
+                discard_pool(pool)
+                raise
         return results

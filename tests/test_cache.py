@@ -348,6 +348,53 @@ class TestEviction:
         assert reopened.total_bytes() <= 1500
         assert reopened.evictions > 0
 
+    def test_overwrites_keep_the_size_estimate_flat(self, tmp_path, monkeypatch):
+        # Re-storing one key replaces its file, so the estimate must stay
+        # at ~one entry.  The old bug charged the full blob on every
+        # overwrite: the estimate drifted upward until a store sitting
+        # comfortably under budget paid a spurious full-directory eviction
+        # scan on every subsequent write — so count the scans too.
+        cache = DiskCache(tmp_path, max_bytes=10_000)
+        scans = []
+        real_evict = DiskCache._evict_to_budget
+        monkeypatch.setattr(
+            DiskCache,
+            "_evict_to_budget",
+            lambda self: scans.append(1) or real_evict(self),
+        )
+        for _round in range(40):  # 40 * 200B would blow the 10kB budget
+            cache.store("same-key", {"artifacts": {"x": b"a" * 200}, "metrics": {}})
+        assert len(cache) == 1
+        assert cache._approx_bytes == cache.total_bytes()
+        assert scans == []  # never over budget, so never a scan
+        assert cache.evictions == 0
+
+    def test_write_fsyncs_before_publishing(self, tmp_path, monkeypatch):
+        # Durability contract: the temp file reaches stable storage before
+        # os.replace makes it visible, so a crash cannot publish a
+        # truncated entry.
+        import os as os_module
+
+        import repro.pipeline.cache as cache_module
+
+        order = []
+        real_fsync = os_module.fsync
+        real_replace = os_module.replace
+        monkeypatch.setattr(
+            cache_module.os,
+            "fsync",
+            lambda fd: order.append("fsync") or real_fsync(fd),
+        )
+        monkeypatch.setattr(
+            cache_module.os,
+            "replace",
+            lambda src, dst: order.append("replace") or real_replace(src, dst),
+        )
+        cache = DiskCache(tmp_path)
+        cache.store("key", {"artifacts": {"x": b"payload"}, "metrics": {}})
+        assert order == ["fsync", "replace"]
+        assert cache.fetch("key") is not None
+
 
 class TestShardExchange:
     """ShardDiskCache read-through/write-local views and merge_from."""

@@ -252,6 +252,35 @@ class TestShardedFlags:
         assert code == 2
         assert "sharded" in capsys.readouterr().err
 
+    def test_chunk_size_records_identical_to_serial(self, capsys):
+        code = main(["experiment", "--name", "fig14", "--json"])
+        serial = json.loads(capsys.readouterr().out)
+        assert code == 0
+        code = main(
+            ["experiment", "--name", "fig14", "--json", "--runner", "thread",
+             "--workers", "2", "--chunk-size", "2"]
+        )
+        chunked = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert [entry["fields"] for entry in chunked["records"]] == [
+            entry["fields"] for entry in serial["records"]
+        ]
+
+    def test_chunk_size_with_serial_runner_is_usage_error(self, capsys):
+        code = main(["experiment", "--name", "fig15", "--chunk-size", "2"])
+        assert code == 2
+        assert "thread, process" in capsys.readouterr().err
+
+    def test_nonpositive_counts_are_usage_errors(self, capsys):
+        for flags in (
+            ["--runner", "process", "--workers", "0"],
+            ["--runner", "sharded", "--shards", "0"],
+            ["--runner", "thread", "--chunk-size", "0"],
+        ):
+            code = main(["experiment", "--name", "fig15", *flags])
+            assert code == 2
+            assert ">= 1" in capsys.readouterr().err
+
     def test_memory_cache_with_sharded_runner_is_usage_error(self, capsys):
         code = main(
             ["experiment", "--name", "fig15", "--runner", "sharded",

@@ -284,3 +284,48 @@ class TestStreamWriters:
         header = path.read_text().splitlines()[0].split(",")
         assert "x" in header and "rsl_count" not in header
         assert len(path.read_text().splitlines()) == len(REFERENCE.records) + 1
+
+    def test_csv_zero_records_still_writes_a_header(self, tmp_path):
+        # A sweep that dies before its first record (or filters everything
+        # out) must not leave a headerless CSV behind — to_csv never does.
+        path = tmp_path / "empty.csv"
+        with make_stream_writer(str(path)):
+            pass
+        lines = path.read_text().splitlines()
+        assert lines == ["experiment,scale,seed,job"]
+
+    def test_csv_zero_records_header_honors_fieldnames_hint(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        hint = ["experiment", "scale", "seed", "job", "x", "value"]
+        with make_stream_writer(str(path), fieldnames=hint):
+            pass
+        assert path.read_text().splitlines() == [",".join(hint)]
+
+    def test_csv_fieldnames_hint_fixes_the_header_for_real_rows(self, tmp_path):
+        path = tmp_path / "records.csv"
+        hint = list(REFERENCE.records[0].flat())
+        with make_stream_writer(str(path), fieldnames=hint) as writer:
+            writer.write(REFERENCE.records[0])
+        assert path.read_text().splitlines()[0] == ",".join(hint)
+
+    def test_construction_failure_closes_the_handle(self, tmp_path, monkeypatch):
+        from repro.experiments import streams
+
+        opened = []
+        real_open = open
+
+        def spy_open(*args, **kwargs):
+            handle = real_open(*args, **kwargs)
+            opened.append(handle)
+            return handle
+
+        class Exploding(CsvStreamWriter):
+            def __init__(self, handle, fieldnames=None):
+                raise RuntimeError("writer construction failed")
+
+        monkeypatch.setattr(streams, "open", spy_open, raising=False)
+        monkeypatch.setattr(streams, "CsvStreamWriter", Exploding)
+        with pytest.raises(RuntimeError, match="construction failed"):
+            streams.make_stream_writer(str(tmp_path / "leak.csv"))
+        assert len(opened) == 1
+        assert opened[0].closed  # the handle did not leak
