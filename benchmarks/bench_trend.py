@@ -115,6 +115,29 @@ def render_trace_passes(path: Path) -> list[str]:
     return lines
 
 
+def render_passes_summary(path: Path) -> str:
+    """One line from a BENCH_passes.json snapshot: what the rewrite bought.
+
+    ``rewrite shrink: X% nodes`` is the mean shrink across families;
+    ``online-reshape Yx`` is the end-to-end on-vs-off wall ratio.  Meant
+    for the CI job log, next to the numeric trend tables.
+    """
+    payload = json.loads(path.read_text())
+    shrink = payload["shrink"]
+    mean_pct = sum(row["shrink_pct"] for row in shrink.values()) / len(shrink)
+    span = (
+        f"{min(row['shrink_pct'] for row in shrink.values()):.1f}"
+        f"-{max(row['shrink_pct'] for row in shrink.values()):.1f}%"
+    )
+    reshape = payload["online_reshape"]
+    return (
+        f"rewrite shrink: {mean_pct:.1f}% nodes "
+        f"(mean over {len(shrink)} families, {span}), "
+        f"online-reshape {reshape['on_over_off']:.2f}x "
+        f"(on {reshape['on_s']:.3f}s vs off {reshape['off_s']:.3f}s)"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -128,6 +151,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--trace", metavar="FILE", type=Path,
         help="telemetry trace (JSONL) to break down per pass",
+    )
+    parser.add_argument(
+        "--passes", metavar="FILE", type=Path,
+        help="BENCH_passes.json snapshot to summarize in one line",
     )
     args = parser.parse_args(argv)
 
@@ -159,6 +186,12 @@ def main(argv: list[str] | None = None) -> int:
             print("\n".join(render_trace_passes(args.trace)))
         except Exception as exc:  # unreadable/invalid trace
             print(f"== {args.trace} == no per-pass breakdown: {exc}", file=sys.stderr)
+            failures += 1
+    if args.passes is not None:
+        try:
+            print(render_passes_summary(args.passes))
+        except Exception as exc:  # unreadable/missing snapshot
+            print(f"== {args.passes} == no rewrite summary: {exc}", file=sys.stderr)
             failures += 1
     return 1 if args.strict and failures else 0
 

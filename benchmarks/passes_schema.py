@@ -1,0 +1,132 @@
+"""Schema validation for device-validator diagnostics JSON.
+
+A :class:`~repro.passes.validators.ValidationError` prints one JSON object
+(``ValidationError.to_json``): the ``validation`` error tag, a schema
+version, the rejecting validator's name, a one-line summary, and the full
+diagnostic list.  CI's pass-ecosystem smoke step compiles a deliberately
+invalid circuit, captures that object, and runs it through this checker —
+so any drift in the failure shape breaks the smoke step instead of
+silently producing output downstream tooling can't parse.
+
+Validation is structural, not semantic: required keys, field types, rule
+ids in ``family/check`` form, severities from the pinned vocabulary.
+
+Usage (exit 0 when the capture validates, 1 otherwise)::
+
+    python benchmarks/passes_schema.py --diagnostics DIAG.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Keep the repo importable when invoked as a script from anywhere: the
+# checker validates against the library's declared schema version, never
+# a copy that could drift.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.passes.validators import DIAGNOSTICS_SCHEMA_VERSION, SEVERITIES  # noqa: E402
+
+_TOP_FIELDS = {
+    "error": (str,),
+    "schema": (int,),
+    "validator": (str,),
+    "summary": (str,),
+    "diagnostics": (list,),
+}
+
+_DIAGNOSTIC_FIELDS = {
+    "rule": (str,),
+    "severity": (str,),
+    "message": (str,),
+    "location": (dict,),
+}
+
+
+def _type_errors(obj: dict, fields: dict, where: str) -> list[str]:
+    errors = []
+    for key, types in fields.items():
+        if key not in obj:
+            errors.append(f"{where}: missing key {key!r}")
+        elif not isinstance(obj[key], types) or isinstance(obj[key], bool):
+            errors.append(
+                f"{where}: {key!r} is {type(obj[key]).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}"
+            )
+    return errors
+
+
+def validate_diagnostics(path: str | Path) -> list[str]:
+    """All schema violations in a diagnostics capture (empty list == valid)."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        return [f"unparsable JSON: {exc}"]
+    if not isinstance(payload, dict):
+        return ["top level is not a JSON object"]
+
+    errors = _type_errors(payload, _TOP_FIELDS, "top level")
+    if payload.get("error") not in (None, "validation"):
+        errors.append(f"top level: error tag {payload['error']!r} != 'validation'")
+    schema = payload.get("schema")
+    if isinstance(schema, int) and schema != DIAGNOSTICS_SCHEMA_VERSION:
+        errors.append(
+            f"top level: schema {schema} != {DIAGNOSTICS_SCHEMA_VERSION}"
+        )
+
+    diagnostics = payload.get("diagnostics")
+    if isinstance(diagnostics, list):
+        if not diagnostics:
+            errors.append("diagnostics list is empty (a rejection must explain itself)")
+        for index, diagnostic in enumerate(diagnostics):
+            where = f"diagnostic {index}"
+            if not isinstance(diagnostic, dict):
+                errors.append(f"{where}: not a JSON object")
+                continue
+            errors.extend(_type_errors(diagnostic, _DIAGNOSTIC_FIELDS, where))
+            rule = diagnostic.get("rule")
+            if isinstance(rule, str) and "/" not in rule:
+                errors.append(f"{where}: rule {rule!r} is not in family/check form")
+            severity = diagnostic.get("severity")
+            if isinstance(severity, str) and severity not in SEVERITIES:
+                errors.append(
+                    f"{where}: severity {severity!r} not in {'/'.join(SEVERITIES)}"
+                )
+        # An error-severity rejection must actually carry an error.
+        severities = [
+            d.get("severity") for d in diagnostics if isinstance(d, dict)
+        ]
+        if severities and "error" not in severities:
+            errors.append("no error-severity diagnostic (rejection without a cause)")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--diagnostics", required=True, metavar="FILE",
+        help="captured validator-failure JSON to validate",
+    )
+    args = parser.parse_args(argv)
+    try:
+        errors = validate_diagnostics(args.diagnostics)
+    except OSError as exc:
+        errors = [f"unreadable: {exc}"]
+    if errors:
+        print(f"diagnostics {args.diagnostics}: INVALID", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    payload = json.loads(Path(args.diagnostics).read_text())
+    print(
+        f"diagnostics {args.diagnostics}: ok "
+        f"({payload['validator']}, {len(payload['diagnostics'])} diagnostic(s))"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

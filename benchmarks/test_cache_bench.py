@@ -140,10 +140,10 @@ def test_cached_sweep_throughput_snapshot():
     }
     SNAPSHOT.write_text(json.dumps(snapshot, indent=2) + "\n")
 
-    # The cold run's prefix sharing: every circuit's translate/offline-map
-    # computed once, then hit for the other seeds of the seed axis.
-    assert cold_hits == 2 * len(FAMILIES) * (len(SEEDS) - 1)
-    assert warm_hits == 3 * len(sweep)  # every stage of every job
+    # The cold run's prefix sharing: every circuit's translate/rewrite/
+    # offline-map computed once, then hit for the other seeds of the axis.
+    assert cold_hits == 3 * len(FAMILIES) * (len(SEEDS) - 1)
+    assert warm_hits == 4 * len(sweep)  # every stage of every job
     assert warm_speedup >= WARM_FLOOR, (
         f"warm-cache sweep only {warm_speedup:.2f}x over uncached "
         f"(floor {WARM_FLOOR}x)"

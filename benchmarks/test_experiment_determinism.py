@@ -27,6 +27,7 @@ WORKER_COUNTS = {
     "fig15": (1, 4),
     "fig16": (4, 3),
     "loss": (2, 2),
+    "passes": (2, 3),
 }
 
 
@@ -62,6 +63,25 @@ def test_scalar_pathfind_matches_golden_on_every_runner(runner_kind):
         kwargs = {}
     runner = make_runner(runner_kind, **kwargs)
     result = get_experiment("fig14").run("bench", 0, runner, pathfind="scalar")
+    assert result.runner == runner_kind
+    assert_matches_golden("fig14", result.records)
+
+
+@pytest.mark.parametrize("runner_kind", ["serial", "thread", "process", "sharded"])
+def test_rewrite_off_matches_golden_on_every_runner(runner_kind):
+    """Disabling the pattern-rewrite pass reproduces the golden records —
+    which the regeneration bench pins to the default ``rewrite="on"`` chain
+    — on every backend.  That is the rewrite's oracle contract: on the
+    (simplified) golden workloads the contraction finds nothing, so the
+    rewritten and unrewritten pipelines must emit identical bytes, the
+    same way ``--pathfind scalar`` oracles the vector pathfinder.  fig14
+    again: compile jobs pick the override up through settings, FnJobs are
+    (by design) left untouched."""
+    kwargs = {"shards": 2} if runner_kind == "sharded" else {"max_workers": 2}
+    if runner_kind == "serial":
+        kwargs = {}
+    runner = make_runner(runner_kind, **kwargs)
+    result = get_experiment("fig14").run("bench", 0, runner, rewrite="off")
     assert result.runner == runner_kind
     assert_matches_golden("fig14", result.records)
 

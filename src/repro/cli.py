@@ -5,6 +5,9 @@ Usage (also via ``python -m repro.cli``)::
 
     python -m repro.cli compile --benchmark qaoa --qubits 4 --rate 0.75
     python -m repro.cli compile --benchmark qaoa --qubits 4 --json
+    python -m repro.cli compile --benchmark qft --qubits 4 --rewrite off
+    python -m repro.cli compile --benchmark qft --qubits 9 \\
+        --passes validate-connectivity,validate-rsg
     python -m repro.cli baseline --benchmark qft --qubits 4 --rate 0.75
     python -m repro.cli experiment --list
     python -m repro.cli experiment --name table2 --scale bench
@@ -45,7 +48,20 @@ from repro.experiments.common import SCALES
 from repro.experiments.runners import RUNNERS, make_runner
 from repro.experiments.streams import CsvStreamWriter, make_stream_writer
 from repro.online.renormalize import PATHFINDS
-from repro.pipeline import Pipeline, PipelineSettings, make_cache
+from repro.passes import (
+    REWRITES,
+    DeviceValidatorPass,
+    UnknownPassError,
+    ValidationError,
+    get_pass,
+    pass_names,
+)
+from repro.pipeline import (
+    PassInsertionError,
+    Pipeline,
+    PipelineSettings,
+    make_cache,
+)
 from repro.pipeline.cache import CACHE_KINDS, cache_summary
 
 
@@ -64,6 +80,19 @@ def _add_common_compile_args(parser: argparse.ArgumentParser) -> None:
         choices=list(PATHFINDS),
         help="renormalization path-search implementation (results are "
         "byte-identical; 'scalar' is the slow parity oracle)",
+    )
+    parser.add_argument(
+        "--rewrite",
+        default="on",
+        choices=list(REWRITES),
+        help="pattern-rewrite pass between translate and offline-map "
+        "(results are byte-identical; 'off' is the unrewritten oracle)",
+    )
+    parser.add_argument(
+        "--passes",
+        metavar="NAMES",
+        help="comma-separated extra passes to insert at their default slot: "
+        + ", ".join(pass_names()),
     )
     parser.add_argument(
         "--json",
@@ -155,7 +184,20 @@ def _cache_from(args: argparse.Namespace):
         raise SystemExit(f"cache: {exc}") from exc
 
 
+def _parse_pass_names(spec: str | None) -> list[str]:
+    if not spec:
+        return []
+    return [name.strip() for name in spec.split(",") if name.strip()]
+
+
 def _build_pipeline(args: argparse.Namespace) -> Pipeline:
+    """Settings + default chain + any ``--passes`` insertions.
+
+    Unknown pass names raise :class:`~repro.passes.UnknownPassError`
+    (listing the registry) and bad insertions raise
+    :class:`~repro.pipeline.PassInsertionError` — both usage errors the
+    command handlers turn into exit 2.
+    """
     settings = PipelineSettings(
         fusion_success_rate=args.rate,
         resource_state_size=args.stars,
@@ -163,8 +205,16 @@ def _build_pipeline(args: argparse.Namespace) -> Pipeline:
         virtual_size=args.virtual_size,
         max_rsl=args.max_rsl,
         pathfind=args.pathfind,
+        rewrite=args.rewrite,
     )
-    return Pipeline(settings, seed=args.seed, cache=_cache_from(args))
+    pipeline = Pipeline(settings, seed=args.seed, cache=_cache_from(args))
+    # Reversed so the chain order after the slot matches the listed order.
+    for name in reversed(_parse_pass_names(getattr(args, "passes", None))):
+        cls = get_pass(name)
+        pipeline = pipeline.insert_pass(
+            cls(), after=getattr(cls, "default_slot", None)
+        )
+    return pipeline
 
 
 def _cache_counts(metrics: dict) -> dict:
@@ -176,10 +226,22 @@ def _cache_counts(metrics: dict) -> dict:
 
 def cmd_compile(args: argparse.Namespace) -> int:
     circuit = make_benchmark(args.benchmark, args.qubits, seed=args.seed)
-    with _telemetry_session(args) as tele:
-        result = _build_pipeline(args).compile(circuit)
-        if tele is not None:
-            tele.adopt_compile(result, circuit=circuit.name)
+    try:
+        pipeline = _build_pipeline(args)
+    except (UnknownPassError, PassInsertionError) as exc:
+        print(f"compile: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with _telemetry_session(args) as tele:
+            result = pipeline.compile(circuit)
+            if tele is not None:
+                tele.adopt_compile(result, circuit=circuit.name)
+    except ValidationError as exc:
+        # Machine-readable diagnostics on stdout (the contract CI's smoke
+        # step schema-checks), human summary on stderr, usage-error exit.
+        print(exc.to_json())
+        print(f"compile: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         print(
             json.dumps(
@@ -220,10 +282,28 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 def cmd_baseline(args: argparse.Namespace) -> int:
     circuit = make_benchmark(args.benchmark, args.qubits, seed=args.seed)
-    with _telemetry_session(args) as tele:
-        result = _build_pipeline(args).compile_baseline(circuit)
-        if tele is not None:
-            tele.adopt_compile(result, circuit=circuit.name)
+    try:
+        pipeline = _build_pipeline(args)
+    except (UnknownPassError, PassInsertionError) as exc:
+        print(f"baseline: {exc}", file=sys.stderr)
+        return 2
+    try:
+        # compile_baseline swaps in the baseline chain, so inserted device
+        # validators gate the submission here instead — same fail-fast
+        # contract, same diagnostics, before any compile work happens.
+        scratch = pipeline.settings.context_for(circuit)
+        for stage in pipeline.passes:
+            inner = getattr(stage, "inner", stage)  # unwrap CachePass
+            if isinstance(inner, DeviceValidatorPass):
+                inner.run(scratch)
+        with _telemetry_session(args) as tele:
+            result = pipeline.compile_baseline(circuit)
+            if tele is not None:
+                tele.adopt_compile(result, circuit=circuit.name)
+    except ValidationError as exc:
+        print(exc.to_json())
+        print(f"baseline: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         print(
             json.dumps(
@@ -263,7 +343,11 @@ def _run_streamed(experiment, args: argparse.Namespace, runner) -> ExperimentRes
     records = []
     try:
         stream = experiment.iter_records(
-            args.scale, seed=args.seed, runner=runner, pathfind=args.pathfind
+            args.scale,
+            seed=args.seed,
+            runner=runner,
+            pathfind=args.pathfind,
+            rewrite=args.rewrite,
         )
         for record in stream:
             records.append(record)
@@ -342,7 +426,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             result = _run_streamed(experiment, args, runner)
         else:
             result = experiment.run(
-                args.scale, seed=args.seed, runner=runner, pathfind=args.pathfind
+                args.scale,
+                seed=args.seed,
+                runner=runner,
+                pathfind=args.pathfind,
+                rewrite=args.rewrite,
             )
     payload = result.to_json_obj()
     if cache is not None:
@@ -462,6 +550,7 @@ def _submit_request(args: argparse.Namespace) -> dict:
             "workers": args.workers,
             "shards": args.shards,
             "pathfind": args.pathfind,
+            "rewrite": args.rewrite,
         }
     if args.benchmark:
         return {
@@ -473,6 +562,8 @@ def _submit_request(args: argparse.Namespace) -> dict:
             "seed": args.seed,
             "max_rsl": args.max_rsl,
             "pathfind": args.pathfind or "vector",
+            "rewrite": args.rewrite or "on",
+            "passes": args.passes,
         }
     raise ReproError(
         "submit: pick a request — --name EXPERIMENT, "
@@ -620,6 +711,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(PATHFINDS),
         help="force one renormalization path-search implementation on every "
         "job (records are byte-identical; 'scalar' is the parity oracle)",
+    )
+    experiment_parser.add_argument(
+        "--rewrite",
+        default=None,
+        choices=list(REWRITES),
+        help="force the pattern-rewrite pass on or off for every compile "
+        "job (records are byte-identical; 'off' is the unrewritten oracle)",
     )
     experiment_parser.add_argument(
         "--runner",
@@ -773,6 +871,14 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser.add_argument("--shards", type=int, default=None, metavar="N")
     submit_parser.add_argument(
         "--pathfind", default=None, choices=list(PATHFINDS)
+    )
+    submit_parser.add_argument(
+        "--rewrite", default=None, choices=list(REWRITES)
+    )
+    submit_parser.add_argument(
+        "--passes", metavar="NAMES", default=None,
+        help="compile requests only: comma-separated extra passes "
+        "(server-side vocabulary: " + ", ".join(pass_names()) + ")",
     )
     submit_parser.add_argument(
         "--benchmark", choices=sorted(BENCHMARKS),

@@ -18,6 +18,7 @@ EXPERIMENTS.md's measured sections.
 # Import order is registration order is presentation order (Table 2 first).
 from repro.experiments import table2, table3  # noqa: I001
 from repro.experiments import fig12, fig13, fig14, fig15, fig16, loss
+from repro.experiments import passes_ablation
 from repro.experiments.api import (
     EXPERIMENT_REGISTRY,
     CompileJob,
@@ -31,6 +32,8 @@ from repro.experiments.api import (
     experiment_names,
     get_experiment,
     group_cells,
+    override_pathfind,
+    override_rewrite,
     register,
     run_experiment,
 )
@@ -84,6 +87,9 @@ __all__ = [
     "ThreadRunner",
     "UnknownExperimentError",
     "canonical_json",
+    "override_pathfind",
+    "override_rewrite",
+    "passes_ablation",
     "chunk_size_for",
     "experiment_names",
     "fig12",

@@ -353,17 +353,22 @@ class Experiment(ABC):
         seed: int = 0,
         runner: "Runner | str | None" = None,
         pathfind: str | None = None,
+        rewrite: str | None = None,
     ) -> ExperimentResult:
         """Build jobs, execute them on ``runner``, reduce the records.
 
         ``pathfind`` (when given) rewrites every job to the named
         renormalization path-search implementation — see
-        :func:`override_pathfind`.  Records are byte-identical either way;
-        the knob exists for parity audits and benchmarking.
+        :func:`override_pathfind`.  ``rewrite`` likewise forces the
+        pattern-rewrite pass on or off for every compile job — see
+        :func:`override_rewrite`.  Records are byte-identical either way;
+        both knobs exist for parity audits and benchmarking.
         """
         self._check_scale(scale)
         runner = _resolve_runner(runner)
-        jobs = override_pathfind(self.build_jobs(scale, seed), pathfind)
+        jobs = override_rewrite(
+            override_pathfind(self.build_jobs(scale, seed), pathfind), rewrite
+        )
         records = runner.run_jobs(jobs, experiment=self.name, scale=scale, seed=seed)
         result = self.reduce(records)
         result.runner = runner.name
@@ -375,6 +380,7 @@ class Experiment(ABC):
         seed: int = 0,
         runner: "Runner | str | None" = None,
         pathfind: str | None = None,
+        rewrite: str | None = None,
     ) -> Iterator[ExperimentRecord]:
         """Stream records in canonical job order as execution completes.
 
@@ -389,7 +395,9 @@ class Experiment(ABC):
         """
         self._check_scale(scale)
         runner = _resolve_runner(runner)
-        jobs = override_pathfind(self.build_jobs(scale, seed), pathfind)
+        jobs = override_rewrite(
+            override_pathfind(self.build_jobs(scale, seed), pathfind), rewrite
+        )
         return runner.iter_jobs(jobs, experiment=self.name, scale=scale, seed=seed)
 
 
@@ -427,6 +435,37 @@ def override_pathfind(jobs: list[Job], pathfind: str | None) -> list[Job]:
         else:
             rewritten.append(job)
     return rewritten
+
+
+def override_rewrite(jobs: list[Job], rewrite: str | None) -> list[Job]:
+    """Rewrite a job list to force the pattern-rewrite pass on or off.
+
+    ``None`` leaves the experiment's defaults alone.  Only compile jobs
+    are touched: for them the knob is semantics-preserving by construction
+    (records byte-identical either way — the determinism suite's
+    contract).  Function jobs always pass through untouched, even when the
+    function accepts a ``rewrite`` argument: an FnJob with a ``rewrite``
+    parameter is *sweeping* it as an axis (the ``passes`` ablation), and
+    collapsing the axis to one value would change the record set.
+    """
+    if rewrite is None:
+        return jobs
+    from repro.passes.rewrite import REWRITES
+
+    if rewrite not in REWRITES:
+        raise ReproError(
+            f"unknown rewrite mode {rewrite!r}; use one of: {', '.join(REWRITES)}"
+        )
+    import dataclasses
+
+    return [
+        dataclasses.replace(
+            job, settings=dataclasses.replace(job.settings, rewrite=rewrite)
+        )
+        if isinstance(job, CompileJob)
+        else job
+        for job in jobs
+    ]
 
 
 def _resolve_runner(runner: "Runner | str | None"):
@@ -490,8 +529,9 @@ def run_experiment(
     seed: int = 0,
     runner: "Runner | str | None" = None,
     pathfind: str | None = None,
+    rewrite: str | None = None,
 ) -> ExperimentResult:
     """One-call entry point: ``run_experiment("fig14", "bench")``."""
     return get_experiment(name).run(
-        scale=scale, seed=seed, runner=runner, pathfind=pathfind
+        scale=scale, seed=seed, runner=runner, pathfind=pathfind, rewrite=rewrite
     )

@@ -1,0 +1,100 @@
+"""The pass ecosystem: optimization + device validation for the pipeline slot.
+
+The slot between translate and offline-map (insertable since the pipeline
+refactor, via :meth:`~repro.pipeline.pipeline.Pipeline.insert_pass`) hosts
+two pass families, modeled on the braket emulator-pass shape:
+
+* :class:`~repro.passes.rewrite.RewritePass` — zero-angle pair contraction
+  that shrinks the MBQC pattern before mapping (``--rewrite on|off``, the
+  unrewritten chain kept as a byte-identity oracle);
+* device validators (:mod:`repro.passes.validators`) — fail-fast gates
+  checking the program against the hardware profile, with structured JSON
+  diagnostics.
+
+:data:`PASS_REGISTRY` names the insertable passes for the CLI's
+``--passes`` flag; :func:`get_pass` resolves a name or raises
+:class:`UnknownPassError` listing the registry (the same contract as the
+experiment registry).  :func:`~repro.passes.frontdoor.make_pass_list` is
+the ``singledispatch`` front door accepting Circuit, MBQC pattern, or
+serialized IR.
+"""
+
+from repro.errors import ReproError
+from repro.passes.frontdoor import (
+    CIRCUIT_IR_FORMAT,
+    PatternSourcePass,
+    circuit_from_ir,
+    circuit_to_ir,
+    compile_program,
+    make_pass_list,
+    pattern_fingerprint,
+    program_circuit,
+)
+from repro.passes.rewrite import REWRITES, RewritePass
+from repro.passes.validators import (
+    DIAGNOSTICS_SCHEMA_VERSION,
+    SEVERITIES,
+    ConnectivityValidatorPass,
+    DeviceValidatorPass,
+    Diagnostic,
+    RsgConstraintValidatorPass,
+    StripBudgetValidatorPass,
+    ValidationError,
+)
+
+
+class UnknownPassError(ReproError):
+    """An unregistered pass name reached the front door."""
+
+
+#: Insertable-by-name passes (the ``--passes`` vocabulary).  Values are
+#: classes: every CLI use gets a fresh instance, so pass objects are never
+#: shared between pipelines.
+PASS_REGISTRY: dict[str, type] = {
+    RewritePass.name: RewritePass,
+    ConnectivityValidatorPass.name: ConnectivityValidatorPass,
+    StripBudgetValidatorPass.name: StripBudgetValidatorPass,
+    RsgConstraintValidatorPass.name: RsgConstraintValidatorPass,
+}
+
+
+def pass_names() -> list[str]:
+    """Registered pass names, in registration order."""
+    return list(PASS_REGISTRY)
+
+
+def get_pass(name: str) -> type:
+    """Resolve a registered pass class; unknown names list the registry."""
+    try:
+        return PASS_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(PASS_REGISTRY) or "<none>"
+        raise UnknownPassError(
+            f"unknown pass {name!r}; registered passes: {known}"
+        ) from None
+
+
+__all__ = [
+    "CIRCUIT_IR_FORMAT",
+    "DIAGNOSTICS_SCHEMA_VERSION",
+    "ConnectivityValidatorPass",
+    "DeviceValidatorPass",
+    "Diagnostic",
+    "PASS_REGISTRY",
+    "PatternSourcePass",
+    "REWRITES",
+    "RewritePass",
+    "RsgConstraintValidatorPass",
+    "SEVERITIES",
+    "StripBudgetValidatorPass",
+    "UnknownPassError",
+    "ValidationError",
+    "circuit_from_ir",
+    "circuit_to_ir",
+    "compile_program",
+    "get_pass",
+    "make_pass_list",
+    "pass_names",
+    "pattern_fingerprint",
+    "program_circuit",
+]

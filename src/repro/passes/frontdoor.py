@@ -1,0 +1,215 @@
+"""The ``singledispatch`` front door: pass chains for any program form.
+
+:func:`make_pass_list` maps whatever the caller holds — a
+:class:`~repro.circuits.circuit.Circuit`, a prebuilt
+:class:`~repro.mbqc.pattern.MeasurementPattern`, or a serialized circuit IR
+(dict or JSON string) — onto a ready-to-run pass chain, so external
+workloads enter the pipeline without knowing its internals.  Patterns skip
+translate via :class:`PatternSourcePass`; serialized IR round-trips through
+:func:`circuit_from_ir` / :func:`circuit_to_ir` (the ``repro-circuit/v1``
+wire shape).
+"""
+
+from __future__ import annotations
+
+import copy
+import functools
+import hashlib
+import json
+from typing import Any
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+from repro.errors import ReproError
+from repro.mbqc.pattern import MeasurementPattern
+from repro.pipeline.context import PassContext
+from repro.pipeline.passes import CompilerPass
+
+#: Format tag on serialized circuits; reject anything else loudly rather
+#: than guessing at half-compatible shapes.
+CIRCUIT_IR_FORMAT = "repro-circuit/v1"
+
+
+class PatternSourcePass(CompilerPass):
+    """Injects a prebuilt MBQC pattern as the ``pattern`` artifact.
+
+    Replaces ``TranslatePass`` when the program *is* already a pattern.  A
+    deep copy goes onto the context so downstream in-place passes (rewrite)
+    never mutate the caller's object.  Not cacheable: the pattern is not a
+    function of the context's stand-in circuit — identity instead rides in
+    the circuit name via :func:`pattern_fingerprint` (see
+    :func:`program_circuit`), which keys the *downstream* cacheable passes
+    soundly.
+    """
+
+    name = "pattern-source"
+    provides = ("pattern",)
+    cacheable = False
+
+    def __init__(self, pattern: MeasurementPattern) -> None:
+        self.pattern = pattern
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.put("pattern", copy.deepcopy(self.pattern))
+
+
+def pattern_fingerprint(pattern: MeasurementPattern) -> str:
+    """Content hash of a pattern: nodes, angles, flow, and graph edges."""
+    digest = hashlib.blake2b(digest_size=8)
+    for node_id in sorted(pattern.nodes):
+        node = pattern.nodes[node_id]
+        digest.update(
+            repr((node_id, node.wire, node.angle, node.successor)).encode()
+        )
+    edges = sorted(tuple(sorted(edge)) for edge in pattern.graph.edges())
+    digest.update(repr((edges, pattern.inputs, pattern.outputs)).encode())
+    return digest.hexdigest()
+
+
+def circuit_to_ir(circuit: Circuit) -> dict[str, Any]:
+    """Serialize a circuit to the ``repro-circuit/v1`` JSON shape."""
+    return {
+        "format": CIRCUIT_IR_FORMAT,
+        "name": circuit.name,
+        "num_qubits": circuit.num_qubits,
+        "gates": [
+            {
+                "name": gate.name,
+                "qubits": list(gate.qubits),
+                "params": list(gate.params),
+            }
+            for gate in circuit.gates
+        ],
+    }
+
+
+def circuit_from_ir(payload: dict[str, Any]) -> Circuit:
+    """Rebuild a circuit from the ``repro-circuit/v1`` JSON shape."""
+    if not isinstance(payload, dict):
+        raise ReproError(
+            f"serialized circuit IR must be an object, got "
+            f"{type(payload).__name__}"
+        )
+    fmt = payload.get("format")
+    if fmt != CIRCUIT_IR_FORMAT:
+        raise ReproError(
+            f"unsupported circuit IR format {fmt!r}; expected "
+            f"{CIRCUIT_IR_FORMAT!r}"
+        )
+    try:
+        circuit = Circuit(
+            int(payload["num_qubits"]), name=str(payload.get("name", "circuit"))
+        )
+        for gate in payload["gates"]:
+            circuit.append(
+                Gate(
+                    str(gate["name"]),
+                    tuple(int(q) for q in gate["qubits"]),
+                    tuple(float(p) for p in gate.get("params", ())),
+                )
+            )
+    except ReproError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed circuit IR: {exc}") from None
+    return circuit
+
+
+@functools.singledispatch
+def make_pass_list(program: Any, *, rewrite: str = "on") -> tuple[CompilerPass, ...]:
+    """A ready-to-run pass chain for ``program``, whatever its form.
+
+    Circuits get the full default chain; patterns get
+    :class:`PatternSourcePass` in place of translate; dicts and JSON
+    strings are decoded as ``repro-circuit/v1`` IR first.  ``rewrite``
+    gates the pattern-rewrite pass exactly like
+    :func:`~repro.pipeline.pipeline.default_passes`.
+    """
+    raise ReproError(
+        f"cannot build a pass list for {type(program).__name__}; accepted "
+        "program forms: Circuit, MeasurementPattern, serialized circuit IR "
+        "(dict or JSON string)"
+    )
+
+
+@make_pass_list.register
+def _(program: Circuit, *, rewrite: str = "on") -> tuple[CompilerPass, ...]:
+    from repro.pipeline.pipeline import default_passes
+
+    return default_passes(rewrite)
+
+
+@make_pass_list.register
+def _(program: MeasurementPattern, *, rewrite: str = "on") -> tuple[CompilerPass, ...]:
+    from repro.pipeline.pipeline import default_passes
+
+    tail = tuple(
+        stage for stage in default_passes(rewrite) if stage.name != "translate"
+    )
+    return (PatternSourcePass(program), *tail)
+
+
+@make_pass_list.register
+def _(program: dict, *, rewrite: str = "on") -> tuple[CompilerPass, ...]:
+    return make_pass_list(circuit_from_ir(program), rewrite=rewrite)
+
+
+@make_pass_list.register
+def _(program: str, *, rewrite: str = "on") -> tuple[CompilerPass, ...]:
+    try:
+        payload = json.loads(program)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"serialized circuit IR is not valid JSON: {exc}") from None
+    return make_pass_list(payload, rewrite=rewrite)
+
+
+def program_circuit(program: Any) -> Circuit:
+    """The context-building circuit for any accepted program form.
+
+    For a pattern the returned circuit is a stand-in that exists to size
+    the hardware and *identify* the program: its name embeds
+    :func:`pattern_fingerprint`, so cache keys derived from the circuit
+    fingerprint distinguish different injected patterns (two patterns with
+    the same human name must not share cache entries).
+    """
+    if isinstance(program, Circuit):
+        return program
+    if isinstance(program, MeasurementPattern):
+        width = max(1, len(program.inputs))
+        return Circuit(
+            width, name=f"{program.name}@{pattern_fingerprint(program)}"
+        )
+    if isinstance(program, str):
+        try:
+            program = json.loads(program)
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"serialized circuit IR is not valid JSON: {exc}"
+            ) from None
+    if isinstance(program, dict):
+        return circuit_from_ir(program)
+    raise ReproError(
+        f"cannot derive a circuit from {type(program).__name__}"
+    )
+
+
+def compile_program(
+    program: Any,
+    settings=None,
+    seed: int | None = None,
+    cache=None,
+):
+    """Compile any accepted program form through the standard chain.
+
+    The one-call externally-facing entry: builds the pass chain with
+    :func:`make_pass_list` (honoring ``settings.rewrite``), stamps the
+    context from :func:`program_circuit`, and returns the usual
+    :class:`~repro.pipeline.result.CompilationResult`.
+    """
+    from repro.pipeline.pipeline import Pipeline
+    from repro.pipeline.settings import PipelineSettings
+
+    settings = settings or PipelineSettings()
+    passes = make_pass_list(program, rewrite=settings.rewrite)
+    pipeline = Pipeline(settings, passes, seed=seed, cache=cache)
+    return pipeline.compile(program_circuit(program))

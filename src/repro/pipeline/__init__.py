@@ -27,7 +27,13 @@ from repro.pipeline.passes import (
     OnlineReshapePass,
     TranslatePass,
 )
-from repro.pipeline.pipeline import Pipeline, baseline_passes, default_passes
+from repro.pipeline.pipeline import (
+    PassInsertionError,
+    Pipeline,
+    baseline_passes,
+    check_chain,
+    default_passes,
+)
 from repro.pipeline.result import CompilationResult
 from repro.pipeline.settings import PipelineSettings, rsl_size_for, virtual_size_for
 
@@ -43,6 +49,7 @@ __all__ = [
     "OfflineMapPass",
     "OnlineReshapePass",
     "PassContext",
+    "PassInsertionError",
     "PassTiming",
     "Pipeline",
     "PipelineSettings",
@@ -51,6 +58,7 @@ __all__ = [
     "baseline_passes",
     "cache_summary",
     "cached_passes",
+    "check_chain",
     "circuit_fingerprint",
     "default_passes",
     "make_cache",

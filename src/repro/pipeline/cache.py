@@ -60,8 +60,10 @@ from repro.pipeline.context import PassContext
 from repro.pipeline.passes import CompilerPass
 
 #: Bump when the key derivation or payload schema changes: stale entries
-#: from older layouts must read as misses, never as wrong hits.
-CACHE_SCHEMA_VERSION = 1
+#: from older layouts must read as misses, never as wrong hits.  v2: the
+#: option vocabulary grew the ``rewrite`` knob (pattern-rewrite pass on or
+#: off), which keys rewritten and unrewritten chains apart.
+CACHE_SCHEMA_VERSION = 2
 
 
 def circuit_fingerprint(circuit) -> str:

@@ -85,14 +85,116 @@ def _compile_shard(
     return pairs, stats
 
 
-def default_passes() -> tuple[CompilerPass, ...]:
-    """The paper's Fig. 2 flow as a pass chain."""
-    return (TranslatePass(), OfflineMapPass(), LowerIRPass(), OnlineReshapePass())
+def default_passes(rewrite: str = "on") -> tuple[CompilerPass, ...]:
+    """The paper's Fig. 2 flow as a pass chain.
+
+    ``rewrite`` gates the pattern-rewrite optimization in the slot between
+    translate and offline-map: ``"on"`` (the default) contracts zero-angle
+    pairs before mapping, ``"off"`` is the unrewritten byte-identity
+    oracle — the same fast-default/oracle pairing as ``pathfind``.
+    """
+    # Lazy import: repro.passes is built on top of this module.
+    from repro.passes.rewrite import REWRITES, RewritePass
+
+    if rewrite not in REWRITES:
+        raise CompilationError(
+            f"unknown rewrite mode {rewrite!r}; use one of: {', '.join(REWRITES)}"
+        )
+    head: tuple[CompilerPass, ...] = (TranslatePass(),)
+    if rewrite == "on":
+        head += (RewritePass(),)
+    return (*head, OfflineMapPass(), LowerIRPass(), OnlineReshapePass())
 
 
 def baseline_passes() -> tuple[CompilerPass, ...]:
     """The OneQ repeat-until-success comparison flow."""
     return (TranslatePass(), BaselinePass())
+
+
+class PassInsertionError(CompilationError):
+    """A pass cannot join a chain at the requested slot.
+
+    Structured for tooling: ``kind`` is ``"collision"`` (the new pass
+    provides an artifact another pass already provides, without requiring
+    it — i.e. it is not an in-place refinement), ``"unsatisfied"`` (a
+    required artifact has no earlier provider), or ``"anchor"`` (the
+    insertion point itself is invalid).  ``new_pass``/``existing_pass``
+    name both sides of the conflict and ``key`` the artifact at issue.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str,
+        new_pass: str,
+        existing_pass: str | None = None,
+        key: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.new_pass = new_pass
+        self.existing_pass = existing_pass
+        self.key = key
+
+
+def check_chain(passes: Sequence[CompilerPass]) -> None:
+    """Statically validate a pass chain's requires/provides contract.
+
+    The per-run checks in :meth:`Pipeline.run` catch violations only when
+    the offending pass executes; this walks the declared contract up front
+    so a bad insertion fails at :meth:`Pipeline.insert_pass` time, naming
+    both passes involved.  Two rules:
+
+    * every ``requires`` key must have a provider strictly earlier in the
+      chain;
+    * a ``provides`` key already provided earlier is a collision *unless*
+      the later pass also requires it — the in-place-refinement shape
+      (e.g. rewrite: ``pattern -> pattern``).
+    """
+    chain = list(passes)
+    available: dict[str, str] = {}
+    for index, stage in enumerate(chain):
+        for key in stage.requires:
+            if key not in available:
+                provider = next(
+                    (
+                        later.name
+                        for later in chain[index + 1 :]
+                        if key in later.provides
+                    ),
+                    None,
+                )
+                if provider is not None:
+                    message = (
+                        f"pass {stage.name!r} requires {key!r}, which is "
+                        f"only provided later by pass {provider!r}"
+                    )
+                else:
+                    message = (
+                        f"pass {stage.name!r} requires {key!r}, which no "
+                        "pass in the chain provides"
+                    )
+                raise PassInsertionError(
+                    message,
+                    kind="unsatisfied",
+                    new_pass=stage.name,
+                    existing_pass=provider,
+                    key=key,
+                )
+        for key in stage.provides:
+            owner = available.get(key)
+            if owner is not None and key not in stage.requires:
+                raise PassInsertionError(
+                    f"pass {stage.name!r} provides {key!r}, which pass "
+                    f"{owner!r} already provides; an in-place refinement "
+                    f"must also require {key!r}",
+                    kind="collision",
+                    new_pass=stage.name,
+                    existing_pass=owner,
+                    key=key,
+                )
+            available[key] = stage.name
 
 
 class Pipeline:
@@ -114,7 +216,9 @@ class Pipeline:
     ) -> None:
         self.settings = settings or PipelineSettings()
         base: tuple[CompilerPass, ...] = (
-            tuple(passes) if passes is not None else default_passes()
+            tuple(passes)
+            if passes is not None
+            else default_passes(self.settings.rewrite)
         )
         self.cache = cache
         self.cache_only = cache_only
@@ -222,6 +326,59 @@ class Pipeline:
             self.seed,
             cache,
             only,
+            telemetry=self.telemetry,
+        )
+
+    def insert_pass(
+        self,
+        stage: CompilerPass,
+        *,
+        after: str | None = None,
+        before: str | None = None,
+    ) -> "Pipeline":
+        """A new pipeline with ``stage`` inserted into the chain.
+
+        ``after``/``before`` name an existing pass as the anchor (exactly
+        one may be given; with neither, the stage is appended).  The
+        resulting chain is validated by :func:`check_chain` *at insertion
+        time*, so an unsatisfied requirement or a provides collision
+        raises a structured :class:`PassInsertionError` naming both passes
+        instead of failing mid-compilation.  Cache wrappers are stripped
+        before inserting and rebuilt by the new pipeline's constructor, so
+        an inserted cacheable pass is wrapped like any other.
+        """
+        from repro.pipeline.cache import uncached_passes
+
+        if after is not None and before is not None:
+            raise PassInsertionError(
+                f"inserting {stage.name!r}: give either after= or before=, "
+                "not both",
+                kind="anchor",
+                new_pass=stage.name,
+            )
+        chain = list(uncached_passes(self.passes))
+        names = [existing.name for existing in chain]
+        if after is None and before is None:
+            index = len(chain)
+        else:
+            anchor = after if after is not None else before
+            if anchor not in names:
+                raise PassInsertionError(
+                    f"inserting {stage.name!r}: no pass named {anchor!r} "
+                    f"in the chain ({', '.join(names)})",
+                    kind="anchor",
+                    new_pass=stage.name,
+                    existing_pass=anchor,
+                )
+            index = names.index(anchor) + (1 if after is not None else 0)
+        chain.insert(index, stage)
+        check_chain(chain)
+        return Pipeline(
+            self.settings,
+            chain,
+            self.seed,
+            self.cache,
+            self.cache_only,
             telemetry=self.telemetry,
         )
 

@@ -57,6 +57,11 @@ class PipelineSettings:
     max_rsl: int = DEFAULT_RSL_CAP
     emit_instructions: bool = False
     pathfind: str = "vector"
+    #: Pattern-rewrite pass gate: "on" puts RewritePass in the default
+    #: chain after translate, "off" is the unrewritten byte-identity
+    #: oracle.  Rides in the context options, so rewritten and unrewritten
+    #: compilations never share artifact-cache entries.
+    rewrite: str = "on"
 
     def hardware_for(self, num_qubits: int) -> tuple[HardwareConfig, int]:
         """Resolve the hardware config and virtual size for a program."""
@@ -88,5 +93,6 @@ class PipelineSettings:
                 "max_rsl": self.max_rsl,
                 "emit_instructions": self.emit_instructions,
                 "pathfind": self.pathfind,
+                "rewrite": self.rewrite,
             },
         )

@@ -46,8 +46,9 @@ from repro.errors import ReproError
 from repro.experiments.api import ExperimentRecord
 
 #: Bump on any frame- or request-schema change: a mismatched client must
-#: fail the hello handshake, never misparse a stream.
-PROTOCOL_VERSION = 1
+#: fail the hello handshake, never misparse a stream.  v2: experiment and
+#: compile requests grew the ``rewrite`` field (pattern-rewrite pass gate).
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one frame line (requests are small; record frames are
 #: bounded by record size).  The server passes this as the asyncio stream
@@ -170,8 +171,16 @@ def summary_frame(
     }
 
 
-def error_frame(message: str, kind: str = "error") -> dict[str, Any]:
-    return {"frame": "error", "v": PROTOCOL_VERSION, "error": message, "kind": kind}
+def error_frame(
+    message: str, kind: str = "error", details: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """A terminal error frame; ``details`` carries structured payloads
+    (e.g. a device validator's JSON diagnostics) without changing the
+    frame's required shape."""
+    frame = {"frame": "error", "v": PROTOCOL_VERSION, "error": message, "kind": kind}
+    if details is not None:
+        frame["details"] = details
+    return frame
 
 
 def stats_frame(payload: dict[str, Any]) -> dict[str, Any]:
@@ -217,6 +226,7 @@ _REQUEST_SPEC: dict[str, tuple[dict, dict]] = {
             "workers": ((int, _NoneType), None),
             "shards": ((int, _NoneType), None),
             "pathfind": ((str, _NoneType), None),
+            "rewrite": ((str, _NoneType), None),
         },
     ),
     "compile": (
@@ -229,6 +239,8 @@ _REQUEST_SPEC: dict[str, tuple[dict, dict]] = {
             "virtual_size": ((int, _NoneType), None),
             "max_rsl": ((int,), 10**6),
             "pathfind": ((str,), "vector"),
+            "rewrite": ((str,), "on"),
+            "passes": ((str, _NoneType), None),
         },
     ),
     "stats": ({}, {}),

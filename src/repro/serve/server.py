@@ -107,7 +107,7 @@ def request_key(request: dict[str, Any]) -> str:
                 f"{name}={request[name]!r}"
                 for name in (
                     "name", "scale", "seed", "runner", "workers", "shards",
-                    "pathfind",
+                    "pathfind", "rewrite",
                 )
             ),
         ]
@@ -120,6 +120,7 @@ def request_key(request: dict[str, Any]) -> str:
             f"circuit={circuit_fingerprint(circuit)}",
             f"config={_settings_for(request)!r}",
             f"seed={request['seed']}",
+            f"passes={request['passes']!r}",
         ]
     return hashlib.blake2b("\n".join(parts).encode(), digest_size=20).hexdigest()
 
@@ -132,6 +133,7 @@ def _settings_for(request: dict[str, Any]) -> PipelineSettings:
         virtual_size=request["virtual_size"],
         max_rsl=request["max_rsl"],
         pathfind=request["pathfind"],
+        rewrite=request["rewrite"],
     )
 
 
@@ -386,10 +388,18 @@ class ReproServer:
         except Exception as exc:
             # Failure is a frame, not an exception: every subscriber of the
             # stream (current and late-joining) must see the same terminal.
+            # Validator rejections additionally ship their machine-readable
+            # diagnostics so clients see rule/severity/location, not just a
+            # flattened message.
+            details = (
+                exc.to_json_obj() if hasattr(exc, "to_json_obj") else None
+            )
             self._bump(errors=True)
             self.singleflight.retire(stream.key, stream)
             stream.publish(
-                encode_frame(error_frame(str(exc), kind=type(exc).__name__))
+                encode_frame(
+                    error_frame(str(exc), kind=type(exc).__name__, details=details)
+                )
             )
         finally:
             self.singleflight.finish(stream.key, stream)
@@ -410,6 +420,7 @@ class ReproServer:
             seed=request["seed"],
             runner=runner,
             pathfind=request["pathfind"],
+            rewrite=request["rewrite"],
         ):
             stream.publish(encode_frame(record_frame(seq, record)))
             seq += 1
@@ -436,6 +447,19 @@ class ReproServer:
             seed=request["seed"],
             cache=self.cache,
         )
+        if request["passes"]:
+            # Same vocabulary and slotting as the CLI's --passes; unknown
+            # names or bad insertions surface as error frames (exactly the
+            # validator fail-fast contract, one layer up).
+            from repro.passes import get_pass
+
+            for name in reversed(
+                [n.strip() for n in request["passes"].split(",") if n.strip()]
+            ):
+                cls = get_pass(name)
+                pipeline = pipeline.insert_pass(
+                    cls(), after=getattr(cls, "default_slot", None)
+                )
 
         def on_pass(name: str, seconds: float) -> None:
             stream.publish(encode_frame(pass_frame(name, seconds)))

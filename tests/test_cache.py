@@ -111,7 +111,9 @@ class TestCachePassWiring:
         cache = MemoryCache()
         wrapped = cached_passes(default_passes(), cache)
         kinds = [type(stage).__name__ for stage in wrapped]
-        assert kinds == ["CachePass", "CachePass", "LowerIRPass", "CachePass"]
+        assert kinds == [
+            "CachePass", "CachePass", "CachePass", "LowerIRPass", "CachePass",
+        ]
         rewrapped = cached_passes(wrapped, cache)
         assert [type(s).__name__ for s in rewrapped] == kinds
 
@@ -120,7 +122,8 @@ class TestCachePassWiring:
             default_passes(), MemoryCache(), only=("translate", "offline-map")
         )
         assert [type(stage).__name__ for stage in wrapped] == [
-            "CachePass", "CachePass", "LowerIRPass", "OnlineReshapePass",
+            "CachePass", "RewritePass", "CachePass", "LowerIRPass",
+            "OnlineReshapePass",
         ]
 
 
@@ -132,8 +135,8 @@ class TestCachedCompilation:
         cold = cached.compile(CIRCUIT, seed=7)
         warm = cached.compile(CIRCUIT, seed=7)
         assert _metrics(reference) == _metrics(cold) == _metrics(warm)
-        assert cold.metrics["cache_misses"] == 3
-        assert warm.metrics["cache_hits"] == 3
+        assert cold.metrics["cache_misses"] == 4
+        assert warm.metrics["cache_hits"] == 4
 
     def test_hit_replays_pass_metrics(self):
         cache = MemoryCache()
@@ -152,9 +155,9 @@ class TestCachedCompilation:
         cached = Pipeline(SETTINGS, cache=cache)
         cached.compile(CIRCUIT, seed=0)
         second = cached.compile(CIRCUIT, seed=1)
-        # translate + offline-map hit (seedless keys); online-reshape missed
-        # (its key folds in the derived stream seed).
-        assert second.metrics["cache_hits"] == 2
+        # translate + rewrite + offline-map hit (seedless keys);
+        # online-reshape missed (its key folds in the derived stream seed).
+        assert second.metrics["cache_hits"] == 3
         assert second.metrics["cache_misses"] == 1
         assert _metrics(second) == _metrics(Pipeline(SETTINGS).compile(CIRCUIT, seed=1))
 
@@ -166,9 +169,9 @@ class TestCachedCompilation:
         )
         a = Pipeline(SETTINGS, cache=cache).compile(CIRCUIT, seed=0)
         b = Pipeline(loose, cache=cache).compile(CIRCUIT, seed=0)
-        assert b.metrics["cache_misses"] == 3  # nothing reused across settings
+        assert b.metrics["cache_misses"] == 4  # nothing reused across settings
         assert _metrics(b) == _metrics(Pipeline(loose).compile(CIRCUIT, seed=0))
-        assert a.metrics["cache_misses"] == 3
+        assert a.metrics["cache_misses"] == 4
 
     def test_baseline_chain_cached(self):
         reference = Pipeline(SETTINGS).compile_baseline(CIRCUIT, seed=3)
@@ -198,8 +201,8 @@ class TestCachedCompilation:
         cached = Pipeline(SETTINGS, cache=first)
         rebound = cached.with_cache(second)
         result = rebound.compile(CIRCUIT, seed=0)
-        assert result.metrics["cache_misses"] == 3
-        assert len(second) == 3 and second.lookups == 3
+        assert result.metrics["cache_misses"] == 4
+        assert len(second) == 4 and second.lookups == 4
         assert len(first) == 0 and first.lookups == 0
         unbound = cached.with_cache(None)
         assert _metrics(unbound.compile(CIRCUIT, seed=0)) == _metrics(result)
@@ -231,7 +234,7 @@ class TestCachedCompilation:
         assert [_metrics(r) for r in serial] == [_metrics(r) for r in warm]
         # Workers wrote through to the shared directory, so the warm pass
         # hit every stage of every job.
-        assert all(r.metrics.get("cache_hits", 0) == 3 for r in warm)
+        assert all(r.metrics.get("cache_hits", 0) == 4 for r in warm)
 
     def test_sharded_backend_matches_serial_and_warms(self, tmp_path):
         cache = DiskCache(tmp_path)
@@ -247,7 +250,7 @@ class TestCachedCompilation:
         # Shard deltas merged back after the cold run, so later sharded runs
         # (any shard count) hit every stage of every job.
         warm = pipeline.compile_many(circuits, seeds=seeds, backend="sharded", shards=2)
-        assert all(r.metrics.get("cache_hits", 0) == 3 for r in warm)
+        assert all(r.metrics.get("cache_hits", 0) == 4 for r in warm)
         # Scratch directories are cleaned up; only real entries remain.
         assert not list((tmp_path / ".shards").glob("*"))
 

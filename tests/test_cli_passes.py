@@ -1,0 +1,119 @@
+"""CLI surface of the pass ecosystem: --rewrite, --passes, and exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.passes import pass_names
+from repro.passes.validators import DIAGNOSTICS_SCHEMA_VERSION
+
+COMPILE = ["compile", "--benchmark", "qaoa", "--qubits", "4", "--json"]
+
+
+class TestRewriteFlag:
+    def test_invalid_rewrite_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["compile", "--benchmark", "qaoa", "--qubits", "4",
+                  "--rewrite", "sometimes"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--rewrite" in err
+        assert "on" in err and "off" in err
+
+    def test_rewrite_off_drops_the_pass(self, capsys):
+        assert main(COMPILE + ["--rewrite", "off"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert "rewrite" not in record["pass_timings"]
+        assert main(COMPILE) == 0
+        default = json.loads(capsys.readouterr().out)
+        assert "rewrite" in default["pass_timings"]
+
+    def test_rewrite_off_matches_on_deterministically(self, capsys):
+        """The golden-workload contract at CLI level: the default translate
+        path is pre-simplified, so the rewrite finds nothing and both modes
+        produce the same deterministic outcome."""
+        assert main(COMPILE + ["--rewrite", "on"]) == 0
+        on = json.loads(capsys.readouterr().out)
+        assert main(COMPILE + ["--rewrite", "off"]) == 0
+        off = json.loads(capsys.readouterr().out)
+        for key in ("rsl_count", "fusion_count", "logical_layers"):
+            assert on[key] == off[key]
+
+    def test_experiment_rewrite_off_records_identical(self, capsys):
+        code = main(["experiment", "--name", "fig14", "--json"])
+        assert code == 0
+        default = json.loads(capsys.readouterr().out)
+        code = main(
+            ["experiment", "--name", "fig14", "--json", "--rewrite", "off"]
+        )
+        assert code == 0
+        off = json.loads(capsys.readouterr().out)
+        assert [entry["fields"] for entry in default["records"]] == [
+            entry["fields"] for entry in off["records"]
+        ]
+
+
+class TestPassesFlag:
+    def test_unknown_pass_lists_registry_and_exits_2(self, capsys):
+        code = main(COMPILE + ["--passes", "nope"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "nope" in captured.err
+        for name in pass_names():
+            assert name in captured.err
+
+    def test_passing_validators_leave_compilation_unchanged(self, capsys):
+        assert main(COMPILE) == 0
+        plain = json.loads(capsys.readouterr().out)
+        code = main(
+            COMPILE + ["--passes", "validate-connectivity,validate-rsg"]
+        )
+        assert code == 0
+        gated = json.loads(capsys.readouterr().out)
+        assert gated["rsl_count"] == plain["rsl_count"]
+        assert gated["fusion_count"] == plain["fusion_count"]
+
+    def test_validator_rejection_prints_diagnostics_json(self, capsys):
+        code = main(
+            ["compile", "--benchmark", "qft", "--qubits", "25",
+             "--virtual-size", "2", "--passes", "validate-connectivity"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        payload = json.loads(captured.out)
+        assert payload["error"] == "validation"
+        assert payload["schema"] == DIAGNOSTICS_SCHEMA_VERSION
+        assert payload["validator"] == "validate-connectivity"
+        rules = [d["rule"] for d in payload["diagnostics"]]
+        assert "connectivity/width" in rules
+        assert "rejected the program" in captured.err
+
+    def test_baseline_runs_validators_too(self, capsys):
+        code = main(
+            ["baseline", "--benchmark", "qft", "--qubits", "25",
+             "--virtual-size", "2", "--passes", "validate-connectivity"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert json.loads(captured.out)["error"] == "validation"
+
+    def test_diagnostics_json_passes_schema_checker(self, capsys, tmp_path):
+        """The CLI's failure output is exactly what CI's schema gate pins."""
+        import sys
+        from pathlib import Path
+
+        bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+        sys.path.insert(0, str(bench_dir))
+        try:
+            from passes_schema import validate_diagnostics
+        finally:
+            sys.path.remove(str(bench_dir))
+        code = main(
+            ["compile", "--benchmark", "qft", "--qubits", "25",
+             "--virtual-size", "2", "--passes", "validate-connectivity"]
+        )
+        assert code == 2
+        capture = tmp_path / "diag.json"
+        capture.write_text(capsys.readouterr().out)
+        assert validate_diagnostics(capture) == []

@@ -34,7 +34,10 @@ from repro.experiments import (
 from repro.experiments.common import BenchmarkCase, check_scale, stream_for
 from repro.pipeline import PipelineSettings
 
-EXPECTED_NAMES = ["table2", "table3", "fig12", "fig13", "fig14", "fig15", "fig16", "loss"]
+EXPECTED_NAMES = [
+    "table2", "table3", "fig12", "fig13", "fig14", "fig15", "fig16", "loss",
+    "passes",
+]
 
 
 class TestCommon:
@@ -198,10 +201,10 @@ class TestRunners:
         warm = experiment.run("bench", seed=3, runner=runner)
         assert canonical_json(cold.records) == canonical_json(reference.records)
         assert canonical_json(warm.records) == canonical_json(reference.records)
-        assert cold.records[-1].metrics["cache_misses"] == 3
-        assert warm.records[-1].metrics["cache_hits"] == 3
-        assert cold.cache_stats() == {"hits": 0, "misses": 3, "hit_rate": 0.0}
-        assert warm.cache_stats() == {"hits": 3, "misses": 0, "hit_rate": 1.0}
+        assert cold.records[-1].metrics["cache_misses"] == 4
+        assert warm.records[-1].metrics["cache_hits"] == 4
+        assert cold.cache_stats() == {"hits": 0, "misses": 4, "hit_rate": 0.0}
+        assert warm.cache_stats() == {"hits": 4, "misses": 0, "hit_rate": 1.0}
 
     def test_process_runner_with_disk_cache(self, tmp_path):
         from repro.pipeline import DiskCache
@@ -219,7 +222,7 @@ class TestRunners:
         assert canonical_json(warm.records) == canonical_json(reference.records)
         # Workers wrote through the shared directory, so the second run's
         # per-record provenance shows a full hit.
-        assert warm.records[-1].metrics["cache_hits"] == 3
+        assert warm.records[-1].metrics["cache_hits"] == 4
         assert warm.cache_stats()["hit_rate"] == 1.0
 
     def test_runner_by_name_and_unknown(self):

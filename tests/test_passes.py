@@ -1,0 +1,263 @@
+"""The pass ecosystem: rewrite, device validators, and the front door."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.circuits.benchmarks import make_benchmark
+from repro.circuits.jcz import to_jcz
+from repro.errors import ReproError
+from repro.mbqc.translate import translate_circuit
+from repro.passes import (
+    CIRCUIT_IR_FORMAT,
+    PASS_REGISTRY,
+    ConnectivityValidatorPass,
+    Diagnostic,
+    PatternSourcePass,
+    RewritePass,
+    RsgConstraintValidatorPass,
+    StripBudgetValidatorPass,
+    UnknownPassError,
+    ValidationError,
+    circuit_from_ir,
+    circuit_to_ir,
+    compile_program,
+    get_pass,
+    make_pass_list,
+    pass_names,
+    pattern_fingerprint,
+    program_circuit,
+)
+from repro.passes.validators import DIAGNOSTICS_SCHEMA_VERSION
+from repro.pipeline import MemoryCache, Pipeline, PipelineSettings
+
+SETTINGS = PipelineSettings(
+    fusion_success_rate=0.9, resource_state_size=4, node_side=12, max_rsl=10**5
+)
+
+CIRCUIT = make_benchmark("qaoa", 4, seed=0)
+#: The unsimplified {J, CZ} lowering: the shape where the rewrite pass has
+#: real zero-angle pairs to contract.
+UNSIMPLIFIED = to_jcz(CIRCUIT, simplify=False)
+
+
+def _deterministic(result):
+    return (result.rsl_count, result.fusion_count, result.logical_layers)
+
+
+class TestRewritePass:
+    def test_contracts_unsimplified_lowering(self):
+        pattern = translate_circuit(UNSIMPLIFIED)
+        before = pattern.node_count
+        ctx = SETTINGS.context_for(UNSIMPLIFIED)
+        ctx.put("pattern", pattern)
+        RewritePass().run(ctx)
+        assert ctx.metrics["rewrite_contracted_pairs"] > 0
+        assert ctx.metrics["rewrite_nodes_before"] == before
+        assert ctx.metrics["rewrite_nodes_after"] == pattern.node_count
+        assert pattern.node_count < before
+
+    def test_noop_on_simplified_lowering(self):
+        """The default translate path is already simplified, so the rewrite
+        finds nothing — the invariant that keeps golden records identical
+        with ``rewrite`` on and off."""
+        on = Pipeline(SETTINGS).compile(CIRCUIT, seed=1)
+        off = Pipeline(dataclasses.replace(SETTINGS, rewrite="off")).compile(
+            CIRCUIT, seed=1
+        )
+        assert on.metrics["rewrite_contracted_pairs"] == 0
+        assert _deterministic(on) == _deterministic(off)
+
+    def test_rewrite_on_off_share_no_cache_entries(self):
+        cache = MemoryCache()
+        Pipeline(SETTINGS, cache=cache).compile(CIRCUIT, seed=0)
+        stored = len(cache)
+        off = Pipeline(
+            dataclasses.replace(SETTINGS, rewrite="off"), cache=cache
+        ).compile(CIRCUIT, seed=0)
+        # The off-chain saw a cold cache: the rewrite knob is in every key.
+        assert off.metrics.get("cache_hits", 0) == 0
+        assert len(cache) > stored
+
+    def test_compile_deterministic_with_rewrite(self):
+        a = Pipeline(SETTINGS).compile(UNSIMPLIFIED, seed=3)
+        b = Pipeline(SETTINGS).compile(UNSIMPLIFIED, seed=3)
+        assert _deterministic(a) == _deterministic(b)
+        assert a.metrics == b.metrics
+
+
+class TestValidators:
+    def test_connectivity_width_rejects_oversized_circuit(self):
+        settings = dataclasses.replace(SETTINGS, virtual_size=2, rsl_size=24)
+        ctx = settings.context_for(make_benchmark("qft", 25, seed=0))
+        with pytest.raises(ValidationError) as excinfo:
+            ConnectivityValidatorPass().run(ctx)
+        (diag,) = [d for d in excinfo.value.diagnostics if d.severity == "error"]
+        assert diag.rule == "connectivity/width"
+        assert diag.location["qubits"] == 25
+
+    def test_connectivity_degree_rejects_dense_pattern(self):
+        config, _ = SETTINGS.hardware_for(4)
+        width = config.site_degree + 2
+        from repro.circuits.circuit import Circuit
+        from repro.circuits.gates import Gate
+
+        dense = Circuit(width, name="dense")
+        for wire in range(1, width):
+            dense.append(Gate("cz", (0, wire), ()))
+        pattern = translate_circuit(dense)
+        ctx = SETTINGS.context_for(dense)
+        ctx.put("pattern", pattern)
+        with pytest.raises(ValidationError) as excinfo:
+            ConnectivityValidatorPass().run(ctx)
+        rules = {d.rule for d in excinfo.value.diagnostics}
+        assert "connectivity/degree" in rules
+
+    def test_strip_width_error_and_alignment_warning(self):
+        narrow = dataclasses.replace(SETTINGS, rsl_size=3, virtual_size=2)
+        with pytest.raises(ValidationError) as excinfo:
+            StripBudgetValidatorPass().run(narrow.context_for(CIRCUIT))
+        assert excinfo.value.diagnostics[0].rule == "strip/width"
+
+        misaligned = dataclasses.replace(SETTINGS, rsl_size=25, virtual_size=2)
+        ctx = misaligned.context_for(CIRCUIT)
+        StripBudgetValidatorPass().run(ctx)  # warning only: no raise
+        assert ctx.metrics["validate-strip-budget_warnings"] == 1
+
+    def test_rsl_budget_error_names_the_pattern(self):
+        tight = dataclasses.replace(SETTINGS, max_rsl=1)
+        ctx = tight.context_for(CIRCUIT)
+        ctx.put("pattern", translate_circuit(CIRCUIT))
+        with pytest.raises(ValidationError) as excinfo:
+            StripBudgetValidatorPass().run(ctx)
+        (diag,) = [d for d in excinfo.value.diagnostics if d.severity == "error"]
+        assert diag.rule == "strip/rsl-budget"
+        assert diag.location["max_rsl"] == 1
+
+    def test_rsg_fusion_rate_floor_and_warning_band(self):
+        dead = dataclasses.replace(SETTINGS, fusion_success_rate=0.2)
+        with pytest.raises(ValidationError) as excinfo:
+            RsgConstraintValidatorPass().run(dead.context_for(CIRCUIT))
+        assert any(
+            d.rule == "rsg/fusion-rate" and d.severity == "error"
+            for d in excinfo.value.diagnostics
+        )
+        marginal = dataclasses.replace(SETTINGS, fusion_success_rate=0.4)
+        ctx = marginal.context_for(CIRCUIT)
+        RsgConstraintValidatorPass().run(ctx)  # warning band: no raise
+        assert ctx.metrics["validate-rsg_warnings"] >= 1
+
+    def test_validation_error_json_shape(self):
+        diag = Diagnostic(
+            rule="rsg/degree", severity="error", message="m", location={"k": 1}
+        )
+        payload = json.loads(ValidationError("validate-rsg", [diag]).to_json())
+        assert payload["error"] == "validation"
+        assert payload["schema"] == DIAGNOSTICS_SCHEMA_VERSION
+        assert payload["validator"] == "validate-rsg"
+        assert "rsg/degree" in payload["summary"]
+        assert payload["diagnostics"] == [
+            {"rule": "rsg/degree", "severity": "error", "message": "m",
+             "location": {"k": 1}}
+        ]
+
+    def test_validators_are_pure_gates(self):
+        """A passing validator changes nothing deterministic about the
+        compilation it gates."""
+        plain = Pipeline(SETTINGS).compile(CIRCUIT, seed=2)
+        gated_pipeline = Pipeline(SETTINGS)
+        for cls in (
+            ConnectivityValidatorPass, StripBudgetValidatorPass,
+            RsgConstraintValidatorPass,
+        ):
+            gated_pipeline = gated_pipeline.insert_pass(cls(), after="translate")
+        gated = gated_pipeline.compile(CIRCUIT, seed=2)
+        assert _deterministic(gated) == _deterministic(plain)
+
+    def test_unsupported_program_form_rejected(self):
+        ctx = SETTINGS.context_for(CIRCUIT)
+        with pytest.raises(ReproError, match="cannot check"):
+            ConnectivityValidatorPass().check(42, ctx)
+
+
+class TestRegistry:
+    def test_names_and_lookup(self):
+        assert pass_names() == list(PASS_REGISTRY)
+        assert get_pass("rewrite") is RewritePass
+        assert get_pass("validate-rsg") is RsgConstraintValidatorPass
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(UnknownPassError) as excinfo:
+            get_pass("nope")
+        message = str(excinfo.value)
+        assert "nope" in message
+        for name in pass_names():
+            assert name in message
+
+
+class TestFrontDoor:
+    def test_circuit_chain_is_default(self):
+        names = [stage.name for stage in make_pass_list(CIRCUIT)]
+        assert names == [
+            "translate", "rewrite", "offline-map", "lower-ir", "online-reshape",
+        ]
+        assert "rewrite" not in [
+            stage.name for stage in make_pass_list(CIRCUIT, rewrite="off")
+        ]
+
+    def test_pattern_chain_replaces_translate(self):
+        pattern = translate_circuit(CIRCUIT)
+        chain = make_pass_list(pattern)
+        assert chain[0].name == "pattern-source"
+        assert isinstance(chain[0], PatternSourcePass)
+        assert "translate" not in [stage.name for stage in chain]
+
+    def test_unsupported_program_form_rejected(self):
+        with pytest.raises(ReproError, match="cannot build a pass list"):
+            make_pass_list(3.14)
+
+    def test_circuit_ir_round_trip(self):
+        restored = circuit_from_ir(circuit_to_ir(CIRCUIT))
+        assert restored.num_qubits == CIRCUIT.num_qubits
+        assert restored.gates == CIRCUIT.gates
+
+    def test_malformed_ir_rejected(self):
+        with pytest.raises(ReproError, match="unsupported circuit IR format"):
+            circuit_from_ir({"format": "other/v9"})
+        with pytest.raises(ReproError, match="malformed circuit IR"):
+            circuit_from_ir({"format": CIRCUIT_IR_FORMAT, "num_qubits": 2})
+        with pytest.raises(ReproError, match="not valid JSON"):
+            make_pass_list("{never closed")
+
+    def test_compile_program_equivalent_across_forms(self):
+        reference = Pipeline(SETTINGS).compile(CIRCUIT, seed=4)
+        via_circuit = compile_program(CIRCUIT, settings=SETTINGS, seed=4)
+        via_ir = compile_program(
+            json.dumps(circuit_to_ir(CIRCUIT)), settings=SETTINGS, seed=4
+        )
+        assert _deterministic(via_circuit) == _deterministic(reference)
+        assert _deterministic(via_ir) == _deterministic(reference)
+
+    def test_compile_program_from_pattern_leaves_caller_pattern_alone(self):
+        pattern = translate_circuit(UNSIMPLIFIED)
+        before = pattern.node_count
+        result = compile_program(pattern, settings=SETTINGS, seed=0)
+        assert result.metrics["rewrite_contracted_pairs"] > 0
+        assert pattern.node_count == before  # deep-copied, never mutated
+
+    def test_pattern_identity_keys_the_cache(self):
+        """Two different patterns with the same human name must not share
+        cache entries: the fingerprint rides in the stand-in circuit."""
+        a = translate_circuit(make_benchmark("qaoa", 4, seed=0))
+        b = translate_circuit(make_benchmark("vqe", 4, seed=0))
+        a.name = b.name = "same-name:pattern"
+        assert pattern_fingerprint(a) != pattern_fingerprint(b)
+        assert program_circuit(a).name != program_circuit(b).name
+        cache = MemoryCache()
+        first = compile_program(a, settings=SETTINGS, seed=0, cache=cache)
+        cross = compile_program(b, settings=SETTINGS, seed=0, cache=cache)
+        again = compile_program(a, settings=SETTINGS, seed=0, cache=cache)
+        assert cross.metrics.get("cache_hits", 0) == 0
+        assert again.metrics.get("cache_hits", 0) > 0
+        assert _deterministic(again) == _deterministic(first)

@@ -74,7 +74,15 @@ class TestFacadeCompatibility:
 class TestPassContracts:
     def test_default_pass_order(self):
         names = [stage.name for stage in default_passes()]
+        assert names == [
+            "translate", "rewrite", "offline-map", "lower-ir", "online-reshape",
+        ]
+
+    def test_default_passes_rewrite_off(self):
+        names = [stage.name for stage in default_passes("off")]
         assert names == ["translate", "offline-map", "lower-ir", "online-reshape"]
+        with pytest.raises(CompilationError, match="rewrite"):
+            default_passes("sometimes")
 
     def test_missing_artifact_rejected_before_pass_runs(self):
         """Reordered stages fail loudly at the contract check."""
@@ -135,7 +143,9 @@ class TestTimings:
     def test_every_pass_timed(self):
         result = Pipeline(SETTINGS, seed=2).compile(make_benchmark("qaoa", 4, seed=2))
         names = [timing.name for timing in result.pass_timings]
-        assert names == ["translate", "offline-map", "lower-ir", "online-reshape"]
+        assert names == [
+            "translate", "rewrite", "offline-map", "lower-ir", "online-reshape",
+        ]
         assert all(timing.seconds >= 0.0 for timing in result.pass_timings)
         assert result.offline_seconds == result.timings_by_pass["offline-map"]
         assert result.online_seconds == result.timings_by_pass["online-reshape"]

@@ -197,7 +197,7 @@ class TestGoldenIdentity:
                  "max_rsl": 10**5}
             ).raise_for_error()
         assert [p["pass"] for p in run.passes] == [
-            "translate", "offline-map", "lower-ir", "online-reshape"
+            "translate", "rewrite", "offline-map", "lower-ir", "online-reshape"
         ]
         assert run.result["benchmark"] == "qaoa-4"
         assert run.result["rsl_count"] > 0
@@ -212,6 +212,32 @@ class TestGoldenIdentity:
             ).raise_for_error()
         assert [p["pass"] for p in run.passes] == ["translate", "baseline"]
         assert run.result["rsl_count"] > 0
+
+    def test_compile_with_inserted_validator_and_rejection_details(self):
+        """The ``passes`` request field end to end: a passing validator
+        changes nothing; a rejecting one terminates the stream with an
+        error frame carrying the structured diagnostics as ``details``."""
+        with ServerThread(ServeConfig(port=0)) as st:
+            ok = _client(st).submit(
+                {"op": "compile", "benchmark": "qaoa", "qubits": 4,
+                 "rate": 0.9, "rsl_size": 24, "virtual_size": 2,
+                 "max_rsl": 10**5, "passes": "validate-connectivity"}
+            ).raise_for_error()
+            rejected = _client(st).submit(
+                {"op": "compile", "benchmark": "qft", "qubits": 25,
+                 "rate": 0.9, "rsl_size": 24, "virtual_size": 2,
+                 "max_rsl": 10**5, "passes": "validate-connectivity"}
+            )
+        assert "validate-connectivity" in [p["pass"] for p in ok.passes]
+        assert ok.result["rsl_count"] > 0
+        assert rejected.error is not None
+        assert rejected.error["kind"] == "ValidationError"
+        details = rejected.error["details"]
+        assert details["error"] == "validation"
+        assert details["validator"] == "validate-connectivity"
+        assert any(
+            d["rule"] == "connectivity/width" for d in details["diagnostics"]
+        )
 
 
 class TestCoalescing:
@@ -266,19 +292,26 @@ class TestCoalescing:
     def test_request_key_separates_different_work(self):
         base = {"op": "experiment", "name": "serve-toy", "scale": "bench",
                 "seed": 0, "runner": "serial", "workers": None,
-                "shards": None, "pathfind": None}
+                "shards": None, "pathfind": None, "rewrite": None}
         assert request_key(base) == request_key(dict(base))
         assert request_key(base) != request_key({**base, "seed": 1})
         assert request_key(base) != request_key({**base, "name": "serve-gated"})
+        assert request_key(base) != request_key({**base, "rewrite": "off"})
         compile_req = {"op": "compile", "benchmark": "qaoa", "qubits": 4,
                        "rate": 0.75, "stars": 4, "seed": 0, "rsl_size": None,
                        "virtual_size": None, "max_rsl": 10**6,
-                       "pathfind": "vector"}
+                       "pathfind": "vector", "rewrite": "on", "passes": None}
         assert request_key(compile_req) != request_key(
             {**compile_req, "op": "baseline"}
         )
         assert request_key(compile_req) != request_key(
             {**compile_req, "qubits": 9}
+        )
+        assert request_key(compile_req) != request_key(
+            {**compile_req, "rewrite": "off"}
+        )
+        assert request_key(compile_req) != request_key(
+            {**compile_req, "passes": "validate-rsg"}
         )
 
 

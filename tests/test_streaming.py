@@ -195,7 +195,7 @@ class TestShardedRunner:
             "bench", seed=5, runner=ShardedRunner(cache=cache, shards=2)
         )
         assert canonical_json(warm.records) == canonical_json(REFERENCE.records)
-        assert warm.cache_stats() == {"hits": 3, "misses": 0, "hit_rate": 1.0}
+        assert warm.cache_stats() == {"hits": 4, "misses": 0, "hit_rate": 1.0}
         # Scratch deltas were merged and removed; the store holds entries only.
         assert not any((tmp_path / ".shards").iterdir())
 

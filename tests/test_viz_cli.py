@@ -127,7 +127,7 @@ class TestCli:
         assert code == 0
         assert record["rsl_count"] > 0
         assert set(record["pass_timings"]) == {
-            "translate", "offline-map", "lower-ir", "online-reshape"
+            "translate", "rewrite", "offline-map", "lower-ir", "online-reshape"
         }
 
     def test_baseline_json_output(self, capsys):
@@ -193,8 +193,8 @@ class TestCli:
         )
         record = json.loads(capsys.readouterr().out)
         assert code == 0
-        assert record["cache"]["misses"] == 3  # cold cache: every stage missed
-        assert record["metrics"]["cache_misses"] == 3
+        assert record["cache"]["misses"] == 4  # cold cache: every stage missed
+        assert record["metrics"]["cache_misses"] == 4
 
 
 # The experiment subcommand's tests live in tests/test_cli_experiment.py.
